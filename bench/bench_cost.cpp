@@ -1,0 +1,78 @@
+// Reproduction of Table 1's final column group: the area cost of
+// speed-independence-preserving decomposition into 2-literal gates versus
+// the non-SI baseline (SIS `tech_decomp -a 2`).
+//
+// For every benchmark it prints literals/C-elements for:
+//   * non-SI: balanced 2-input AND/OR tree decomposition of the monotonous
+//     covers, ignoring hazards;
+//   * SI: the mapper's speed-independence-preserving decomposition.
+//
+// The paper's headline: counting a C element as roughly a 3-input gate, the
+// cost of preserving speed-independence is within ~10% of the non-SI area.
+// The aggregate ratio is printed at the end for comparison.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/table_common.hpp"
+#include "benchlib/suite.hpp"
+#include "core/mapper.hpp"
+#include "core/mc_cover.hpp"
+#include "netlist/tech_decomp.hpp"
+#include "util/text.hpp"
+#include "stg/stg.hpp"
+
+using namespace sitm;
+using namespace sitm::bench;
+
+int main() {
+  std::printf("Table 1 (cost columns): non-SI vs SI decomposition into "
+              "2-literal gates\n\n");
+  std::printf("%-16s | %12s | %12s | %7s\n", "circuit", "non-SI lit/C",
+              "SI lit/C", "ratio");
+  std::printf("%s\n", std::string(58, '-').c_str());
+
+  // Area model for the summary: a C element counts as a 3-input gate.
+  const int kCElementLiterals = 3;
+  long non_si_area = 0, si_area = 0;
+  int solved = 0, total = 0;
+
+  for (auto& entry : table1_suite()) {
+    const StateGraph sg = entry.stg.to_state_graph();
+    const Netlist original = synthesize_all(sg);
+    const TechDecompResult baseline = tech_decomp2(original);
+
+    MapperOptions opts;
+    opts.library.max_literals = 2;
+    const MapResult result = technology_map(sg, opts);
+    ++total;
+
+    std::string si_cell = "n.i.";
+    std::string ratio_cell = "-";
+    if (result.implementable) {
+      const Netlist mapped = result.build_netlist();
+      const int lits = mapped.total_literals();
+      const int cs = mapped.num_c_elements();
+      si_cell = std::to_string(lits) + "/" + std::to_string(cs);
+      const long base =
+          baseline.literals + kCElementLiterals * baseline.c_elements;
+      const long ours = lits + kCElementLiterals * cs;
+      non_si_area += base;
+      si_area += ours;
+      ++solved;
+      ratio_cell = strfmt("%.2f", base > 0 ? double(ours) / double(base) : 1.0);
+    }
+    std::printf("%-16s | %7d/%-4d | %12s | %7s\n", entry.name.c_str(),
+                baseline.literals, baseline.c_elements, si_cell.c_str(),
+                ratio_cell.c_str());
+  }
+  std::printf("%s\n", std::string(58, '-').c_str());
+  if (non_si_area > 0) {
+    std::printf("aggregate area ratio (SI / non-SI, C element = 3-input "
+                "gate), %d/%d solved: %.3f\n",
+                solved, total,
+                static_cast<double>(si_area) / static_cast<double>(non_si_area));
+    std::printf("(paper: SI overhead not higher than ~10%%)\n");
+  }
+  return 0;
+}

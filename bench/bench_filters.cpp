@@ -1,0 +1,61 @@
+// Ablation of the progress-analysis ranking (paper Sections 3.3/3.4).
+//
+// Properties 3.1 and 3.2 are evaluated on the ORIGINAL SG precisely so the
+// expensive step — resynthesizing every cover on the candidate's new SG —
+// is spent on promising divisors first.  This bench maps the suite at i = 2
+// with the ranking enabled and disabled and reports how many full
+// resyntheses each configuration needs (the mapped results themselves must
+// agree).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/table_common.hpp"
+#include "benchlib/suite.hpp"
+#include "core/mapper.hpp"
+#include "stg/stg.hpp"
+
+using namespace sitm;
+using namespace sitm::bench;
+
+int main() {
+  std::printf("Progress-analysis (Properties 3.1/3.2) ranking ablation, "
+              "i = 2\n\n");
+  std::printf("%-16s | %9s | %10s %10s | %10s %10s\n", "circuit", "inserted",
+              "resyn(on)", "resyn(off)", "time-on", "time-off");
+  std::printf("%s\n", std::string(78, '-').c_str());
+
+  long resyn_on = 0, resyn_off = 0;
+  double time_on = 0, time_off = 0;
+  int disagreements = 0;
+  for (auto& entry : table1_suite()) {
+    const StateGraph sg = entry.stg.to_state_graph();
+    MapperOptions with;
+    with.library.max_literals = 2;
+    MapperOptions without = with;
+    without.use_progress_filters = false;
+
+    Stopwatch w1;
+    const MapResult on = technology_map(sg, with);
+    const double t1 = w1.ms();
+    Stopwatch w2;
+    const MapResult off = technology_map(sg, without);
+    const double t2 = w2.ms();
+
+    if (on.implementable != off.implementable) ++disagreements;
+    resyn_on += on.resyntheses;
+    resyn_off += off.resyntheses;
+    time_on += t1;
+    time_off += t2;
+    std::printf("%-16s | %9s | %10ld %10ld | %8.1fms %8.1fms\n",
+                entry.name.c_str(), insertions_cell(on).c_str(),
+                on.resyntheses, off.resyntheses, t1, t2);
+  }
+  std::printf("%s\n", std::string(78, '-').c_str());
+  std::printf("total resyntheses: ranked %ld, unranked %ld (%.2fx); "
+              "total time: %.0f ms vs %.0f ms; solved-set disagreements: %d\n",
+              resyn_on, resyn_off,
+              resyn_on > 0 ? double(resyn_off) / double(resyn_on) : 0.0,
+              time_on, time_off, disagreements);
+  return 0;
+}

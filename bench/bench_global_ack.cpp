@@ -1,0 +1,76 @@
+// Reproduction of Figure 6 and the global-acknowledgement claim (Section 4).
+//
+// The paper's key advantage over [12, 4] is that transitions of an inserted
+// signal may be acknowledged by covers other than the decomposition target
+// ("global acknowledgement"), which is what lets high-fanin circuits like
+// vbe10b be decomposed into 2-literal gates.  This bench:
+//   1. prints the vbe10b circuit before and after decomposition into
+//      2-literal gates (Figure 6);
+//   2. runs the whole suite at i = 2 with global acknowledgement ON and OFF
+//      (the local-acknowledgement ablation) and compares the solved counts.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/table_common.hpp"
+#include "benchlib/suite.hpp"
+#include "core/mapper.hpp"
+#include "core/mc_cover.hpp"
+#include "stg/stg.hpp"
+
+using namespace sitm;
+using namespace sitm::bench;
+
+int main() {
+  // ---- Figure 6: vbe10b before/after --------------------------------
+  {
+    const auto entry = suite_benchmark("vbe10b");
+    const StateGraph sg = entry.stg.to_state_graph();
+    const Netlist before = synthesize_all(sg);
+    std::printf("Figure 6 — vbe10b (%s) before decomposition "
+                "(max gate %d literals):\n%s\n",
+                entry.family.c_str(), before.max_gate_complexity(),
+                before.to_string().c_str());
+
+    MapperOptions opts;
+    opts.library.max_literals = 2;
+    const MapResult result = technology_map(sg, opts);
+    if (result.implementable) {
+      const Netlist after = result.build_netlist();
+      std::printf("after decomposition into 2-literal gates "
+                  "(%d signals inserted, max gate %d literals):\n%s\n",
+                  result.signals_inserted, after.max_gate_complexity(),
+                  after.to_string().c_str());
+    } else {
+      std::printf("vbe10b NOT implementable at i=2: %s\n",
+                  result.failure.c_str());
+    }
+  }
+
+  // ---- ablation: global vs local acknowledgement ---------------------
+  std::printf("\nGlobal vs local acknowledgement at i = 2\n");
+  std::printf("%-16s | %10s | %10s\n", "circuit", "global", "local-only");
+  std::printf("%s\n", std::string(44, '-').c_str());
+  int solved_global = 0, solved_local = 0, total = 0;
+  for (auto& entry : table1_suite()) {
+    const StateGraph sg = entry.stg.to_state_graph();
+    MapperOptions global;
+    global.library.max_literals = 2;
+    MapperOptions local = global;
+    local.global_acknowledgement = false;
+
+    const MapResult rg = technology_map(sg, global);
+    const MapResult rl = technology_map(sg, local);
+    ++total;
+    if (rg.implementable) ++solved_global;
+    if (rl.implementable) ++solved_local;
+    std::printf("%-16s | %10s | %10s\n", entry.name.c_str(),
+                insertions_cell(rg).c_str(), insertions_cell(rl).c_str());
+  }
+  std::printf("%s\n", std::string(44, '-').c_str());
+  std::printf("solved: global %d/%d, local-only %d/%d\n", solved_global, total,
+              solved_local, total);
+  std::printf("(paper: global acknowledgement decomposes 6-7 literal gates "
+              "where local acknowledgment fails)\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Scaling study (supporting the paper's efficiency claim, Section 5):
+// mapper runtime as a function of specification size, measured with
+// google-benchmark over the parametric families.
+
+#include <benchmark/benchmark.h>
+
+#include "benchlib/generators.hpp"
+#include "core/mapper.hpp"
+#include "core/mc_cover.hpp"
+#include "stg/stg.hpp"
+
+namespace {
+
+using namespace sitm;
+
+void BM_Reachability(benchmark::State& state) {
+  const Stg stg = bench::make_parallelizer(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stg.to_state_graph());
+  }
+  state.counters["states"] = static_cast<double>(
+      stg.to_state_graph().num_states());
+}
+BENCHMARK(BM_Reachability)->DenseRange(2, 10, 2);
+
+void BM_SynthesizeAll(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_parallelizer(static_cast<int>(state.range(0)))
+          .to_state_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_all(sg));
+  }
+  state.counters["states"] = static_cast<double>(sg.num_states());
+}
+BENCHMARK(BM_SynthesizeAll)->DenseRange(2, 8, 2);
+
+void BM_MapParallelizer(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_parallelizer(static_cast<int>(state.range(0)))
+          .to_state_graph();
+  MapperOptions opts;
+  opts.library.max_literals = 2;
+  int inserted = 0;
+  for (auto _ : state) {
+    const MapResult r = technology_map(sg, opts);
+    inserted = r.signals_inserted;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(sg.num_states());
+  state.counters["inserted"] = inserted;
+}
+BENCHMARK(BM_MapParallelizer)->DenseRange(2, 7, 1)->Unit(benchmark::kMillisecond);
+
+void BM_MapCombo(benchmark::State& state) {
+  const StateGraph sg = bench::make_combo(static_cast<int>(state.range(0)),
+                                          static_cast<int>(state.range(1)))
+                            .to_state_graph();
+  MapperOptions opts;
+  opts.library.max_literals = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(technology_map(sg, opts));
+  }
+  state.counters["states"] = static_cast<double>(sg.num_states());
+}
+BENCHMARK(BM_MapCombo)
+    ->Args({2, 2})
+    ->Args({3, 3})
+    ->Args({4, 4})
+    ->Args({5, 3})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MapSeqChain(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_seq_chain(static_cast<int>(state.range(0))).to_state_graph();
+  MapperOptions opts;
+  opts.library.max_literals = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(technology_map(sg, opts));
+  }
+}
+BENCHMARK(BM_MapSeqChain)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+#pragma once
+// Shared helpers for the table-reproduction benches.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/mapper.hpp"
+#include "netlist/netlist.hpp"
+
+namespace sitm {
+namespace bench {
+
+/// Wall-clock helper.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// "n.i." or the number of inserted signals.
+inline std::string insertions_cell(const MapResult& result) {
+  if (!result.implementable) return "n.i.";
+  return std::to_string(result.signals_inserted);
+}
+
+/// Histogram cell: number of gates with exactly n literals.
+inline std::string hist_cell(const std::vector<int>& hist, int n) {
+  if (n < static_cast<int>(hist.size()) && hist[n] > 0)
+    return std::to_string(hist[n]);
+  return "";
+}
+
+}  // namespace bench
+}  // namespace sitm

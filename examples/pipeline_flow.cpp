@@ -1,0 +1,116 @@
+// End-to-end flow on a user-provided specification: parse a .g file (inline
+// here; pass a path to read your own), run reachability, check the
+// implementability preconditions, map onto a chosen library and print the
+// netlist — the typical way a downstream user drives the library.
+//
+// Usage:   ./build/examples/pipeline_flow [file.g] [max_literals]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/mapper.hpp"
+#include "core/mc_cover.hpp"
+#include "netlist/si_verify.hpp"
+#include "netlist/tech_decomp.hpp"
+#include "sg/properties.hpp"
+#include "stg/g_io.hpp"
+#include "util/error.hpp"
+
+using namespace sitm;
+
+namespace {
+
+/// A mixed controller: a DMA-style engine that either broadcasts to two
+/// ports in parallel or performs a 3-step sequential transfer.
+const char* kDefaultSpec = R"(.model dma_engine
+.inputs go mode
+.outputs p0 p1 s0 s1 s2 done
+.graph
+idle go+ mode+
+go+ p0+ p1+
+p0+ done+/1
+p1+ done+/1
+done+/1 go-
+go- p0- p1-
+p0- done-/1
+p1- done-/1
+done-/1 idle
+mode+ s0+
+s0+ s1+
+s1+ s2+
+s2+ done+/2
+done+/2 mode-
+mode- s0-
+s0- s1-
+s1- s2-
+s2- done-/2
+done-/2 idle
+.marking { idle }
+.end
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = kDefaultSpec;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  const int max_literals = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  try {
+    std::string name;
+    const Stg stg = read_g_string(text, &name);
+    const StateGraph sg = stg.to_state_graph();
+    std::printf("%s: %zu transitions, %zu places -> %zu states\n",
+                name.c_str(), stg.num_transitions(), stg.num_places(),
+                sg.num_states());
+
+    if (auto r = check_implementability(sg); !r) {
+      std::printf("specification rejected: %s\n", r.why.c_str());
+      return 1;
+    }
+
+    const Netlist before = synthesize_all(sg);
+    std::printf("\nunconstrained standard-C implementation (max gate %d "
+                "literals, %d literals total, %d C elements):\n%s\n",
+                before.max_gate_complexity(), before.total_literals(),
+                before.num_c_elements(), before.to_string().c_str());
+
+    MapperOptions opts;
+    opts.library.max_literals = max_literals;
+    const MapResult result = technology_map(sg, opts);
+    if (!result.implementable) {
+      std::printf("not implementable with %d-literal gates: %s\n",
+                  max_literals, result.failure.c_str());
+      return 1;
+    }
+    const Netlist after = result.build_netlist();
+    std::printf("mapped onto <=%d-literal gates with %d inserted signals "
+                "(%d literals, %d C elements):\n%s\n",
+                max_literals, result.signals_inserted, after.total_literals(),
+                after.num_c_elements(), after.to_string().c_str());
+
+    const TechDecompResult baseline = tech_decomp2(before);
+    std::printf("non-SI tech_decomp baseline: %d literals, %d C elements "
+                "(hazardous under unbounded delays)\n",
+                baseline.literals, baseline.c_elements);
+
+    const SiVerifyResult verify = verify_speed_independence(after);
+    std::printf("gate-level SI verification: %s\n",
+                verify.ok ? "PASS" : verify.why.c_str());
+    return verify.ok ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,181 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace sitm {
+
+BddManager::BddManager(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 0 || num_vars > 64) throw Error("BddManager: 0..64 variables");
+  nodes_.push_back(Node{num_vars_, kFalse, kFalse});  // 0 = FALSE
+  nodes_.push_back(Node{num_vars_, kTrue, kTrue});    // 1 = TRUE
+}
+
+BddRef BddManager::make(int var, BddRef low, BddRef high) {
+  if (low == high) return low;
+  const NodeKey key{var, low, high};
+  auto [it, inserted] = unique_.emplace(key, 0);
+  if (!inserted) return it->second;
+  nodes_.push_back(Node{var, low, high});
+  it->second = static_cast<BddRef>(nodes_.size() - 1);
+  return it->second;
+}
+
+BddRef BddManager::literal(int v, bool positive) {
+  if (v < 0 || v >= num_vars_) throw Error("BddManager::literal: bad var");
+  return positive ? make(v, kFalse, kTrue) : make(v, kTrue, kFalse);
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const IteKey key{f, g, h};
+  if (auto it = computed_.find(key); it != computed_.end()) return it->second;
+
+  const int vf = nodes_[f].var;
+  const int vg = nodes_[g].var;
+  const int vh = nodes_[h].var;
+  const int top = std::min({vf, vg, vh});
+
+  const BddRef f0 = vf == top ? nodes_[f].low : f;
+  const BddRef f1 = vf == top ? nodes_[f].high : f;
+  const BddRef g0 = vg == top ? nodes_[g].low : g;
+  const BddRef g1 = vg == top ? nodes_[g].high : g;
+  const BddRef h0 = vh == top ? nodes_[h].low : h;
+  const BddRef h1 = vh == top ? nodes_[h].high : h;
+
+  const BddRef low = ite(f0, g0, h0);
+  const BddRef high = ite(f1, g1, h1);
+  const BddRef result = make(top, low, high);
+  computed_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::cofactor(BddRef f, int var, bool value) {
+  if (is_const(f)) return f;
+  const int v = nodes_[f].var;
+  if (v > var) return f;
+  if (v == var) return value ? nodes_[f].high : nodes_[f].low;
+  const BddRef low = cofactor(nodes_[f].low, var, value);
+  const BddRef high = cofactor(nodes_[f].high, var, value);
+  return make(v, low, high);
+}
+
+BddRef BddManager::exists(BddRef f, int var) {
+  return bdd_or(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+BddRef BddManager::exists_mask(BddRef f, std::uint64_t vars) {
+  while (vars) {
+    const int v = __builtin_ctzll(vars);
+    vars &= vars - 1;
+    f = exists(f, v);
+  }
+  return f;
+}
+
+BddRef BddManager::forall(BddRef f, int var) {
+  return bdd_and(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+BddRef BddManager::compose(BddRef f, int var, BddRef g) {
+  return ite(g, cofactor(f, var, true), cofactor(f, var, false));
+}
+
+bool BddManager::eval(BddRef f, std::uint64_t assignment) const {
+  while (!is_const(f)) {
+    const Node& n = nodes_[f];
+    f = ((assignment >> n.var) & 1) ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+double BddManager::sat_count(BddRef f) {
+  std::unordered_map<BddRef, double> memo;
+  // fractional count: fraction of assignments satisfying f
+  auto rec = [&](auto&& self, BddRef node) -> double {
+    if (node == kFalse) return 0.0;
+    if (node == kTrue) return 1.0;
+    if (auto it = memo.find(node); it != memo.end()) return it->second;
+    const double r =
+        0.5 * self(self, nodes_[node].low) + 0.5 * self(self, nodes_[node].high);
+    memo.emplace(node, r);
+    return r;
+  };
+  double frac = rec(rec, f);
+  for (int i = 0; i < num_vars_; ++i) frac *= 2.0;
+  return frac;
+}
+
+bool BddManager::pick_one(BddRef f, std::uint64_t* assignment) const {
+  if (f == kFalse) return false;
+  std::uint64_t a = 0;
+  while (!is_const(f)) {
+    const Node& n = nodes_[f];
+    if (n.high != kFalse) {
+      a |= std::uint64_t{1} << n.var;
+      f = n.high;
+    } else {
+      f = n.low;
+    }
+  }
+  *assignment = a;
+  return true;
+}
+
+std::size_t BddManager::dag_size(BddRef f) const {
+  std::vector<BddRef> stack{f};
+  std::unordered_map<BddRef, char> seen;
+  std::size_t n = 0;
+  while (!stack.empty()) {
+    const BddRef node = stack.back();
+    stack.pop_back();
+    if (!seen.emplace(node, 1).second) continue;
+    ++n;
+    if (!is_const(node)) {
+      stack.push_back(nodes_[node].low);
+      stack.push_back(nodes_[node].high);
+    }
+  }
+  return n;
+}
+
+BddRef BddManager::from_cover(const Cover& cover) {
+  BddRef sum = kFalse;
+  for (const auto& cube : cover.cubes()) {
+    BddRef product = kTrue;
+    // AND literals from the highest variable down so intermediate BDDs stay
+    // ordered-cheap.
+    for (int v = num_vars_ - 1; v >= 0; --v) {
+      if (!cube.has_literal(v)) continue;
+      product = bdd_and(product, literal(v, cube.polarity(v)));
+    }
+    sum = bdd_or(sum, product);
+  }
+  return sum;
+}
+
+Cover BddManager::to_cover(BddRef f) {
+  Cover out(num_vars_);
+  Cube path = Cube::one();
+  auto rec = [&](auto&& self, BddRef node, Cube cube) -> void {
+    if (node == kFalse) return;
+    if (node == kTrue) {
+      out.add(cube);
+      return;
+    }
+    const Node& n = nodes_[node];
+    self(self, n.low, cube.with_literal(n.var, false));
+    self(self, n.high, cube.with_literal(n.var, true));
+  };
+  rec(rec, f, path);
+  out.make_minimal_wrt_containment();
+  return out;
+}
+
+}  // namespace sitm

@@ -1,0 +1,117 @@
+#pragma once
+// Reduced Ordered Binary Decision Diagrams.
+//
+// A small, self-contained ROBDD package in the style of the classic
+// Brace-Rudell-Bryant design: a unique table for node hashing, a computed
+// table for ITE memoization, and the usual operator set.  Used by the STG
+// engine for symbolic reachability and by the tests to cross-check the
+// explicit cover algebra.
+//
+// Node 0 is the constant FALSE, node 1 the constant TRUE.  Variables are
+// ordered by their index (no dynamic reordering; specifications here have at
+// most a few dozen variables).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "boolf/cover.hpp"
+
+namespace sitm {
+
+using BddRef = std::uint32_t;
+
+class BddManager {
+ public:
+  explicit BddManager(int num_vars);
+
+  int num_vars() const { return num_vars_; }
+
+  static constexpr BddRef kFalse = 0;
+  static constexpr BddRef kTrue = 1;
+
+  BddRef bdd_false() const { return kFalse; }
+  BddRef bdd_true() const { return kTrue; }
+  /// The function of variable `v` (or its complement).
+  BddRef literal(int v, bool positive = true);
+
+  // ----- operators ------------------------------------------------------
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+  BddRef bdd_not(BddRef f) { return ite(f, kFalse, kTrue); }
+  BddRef bdd_and(BddRef f, BddRef g) { return ite(f, g, kFalse); }
+  BddRef bdd_or(BddRef f, BddRef g) { return ite(f, kTrue, g); }
+  BddRef bdd_xor(BddRef f, BddRef g) { return ite(f, bdd_not(g), g); }
+  BddRef bdd_imp(BddRef f, BddRef g) { return ite(f, g, kTrue); }
+
+  /// Shannon cofactor with respect to var=value.
+  BddRef cofactor(BddRef f, int var, bool value);
+  /// Existential quantification over one variable or a set (mask).
+  BddRef exists(BddRef f, int var);
+  BddRef exists_mask(BddRef f, std::uint64_t vars);
+  BddRef forall(BddRef f, int var);
+  /// Compose: substitute function g for variable var in f.
+  BddRef compose(BddRef f, int var, BddRef g);
+
+  // ----- queries ----------------------------------------------------------
+  bool eval(BddRef f, std::uint64_t assignment) const;
+  /// Number of satisfying assignments over all num_vars variables.
+  double sat_count(BddRef f);
+  /// Any satisfying assignment; returns false if f == FALSE.
+  bool pick_one(BddRef f, std::uint64_t* assignment) const;
+  /// Node count of the (shared) graph rooted at f.
+  std::size_t dag_size(BddRef f) const;
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  // ----- conversions -------------------------------------------------------
+  /// Build a BDD from an SOP cover (variables must fit num_vars).
+  BddRef from_cover(const Cover& cover);
+  /// Extract an (irredundant-path) SOP from the BDD.
+  Cover to_cover(BddRef f);
+
+  int var_of(BddRef f) const { return nodes_[f].var; }
+  BddRef low_of(BddRef f) const { return nodes_[f].low; }
+  BddRef high_of(BddRef f) const { return nodes_[f].high; }
+  bool is_const(BddRef f) const { return f <= 1; }
+
+ private:
+  struct Node {
+    int var;  // num_vars_ for terminals
+    BddRef low, high;
+  };
+
+  BddRef make(int var, BddRef low, BddRef high);
+
+  struct NodeKey {
+    int var;
+    BddRef low, high;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::uint64_t x = (static_cast<std::uint64_t>(k.var) << 1) ^
+                        (static_cast<std::uint64_t>(k.low) << 32) ^ k.high;
+      x *= 0x9e3779b97f4a7c15ULL;
+      return static_cast<std::size_t>(x ^ (x >> 29));
+    }
+  };
+  struct IteKey {
+    BddRef f, g, h;
+    bool operator==(const IteKey&) const = default;
+  };
+  struct IteKeyHash {
+    std::size_t operator()(const IteKey& k) const {
+      std::uint64_t x = (static_cast<std::uint64_t>(k.f) << 40) ^
+                        (static_cast<std::uint64_t>(k.g) << 20) ^ k.h;
+      x *= 0xff51afd7ed558ccdULL;
+      return static_cast<std::size_t>(x ^ (x >> 33));
+    }
+  };
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
+  std::unordered_map<IteKey, BddRef, IteKeyHash> computed_;
+};
+
+}  // namespace sitm

@@ -1,0 +1,87 @@
+#include "bdd/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace sitm {
+
+BddRef permute(BddManager& mgr, BddRef f, const std::vector<int>& perm) {
+  if (static_cast<int>(perm.size()) != mgr.num_vars())
+    throw Error("permute: permutation size mismatch");
+  std::unordered_map<BddRef, BddRef> memo;
+  auto rec = [&](auto&& self, BddRef node) -> BddRef {
+    if (mgr.is_const(node)) return node;
+    if (auto it = memo.find(node); it != memo.end()) return it->second;
+    const int v = mgr.var_of(node);
+    const BddRef low = self(self, mgr.low_of(node));
+    const BddRef high = self(self, mgr.high_of(node));
+    // ite on the renamed variable keeps the result reduced and ordered.
+    const BddRef out =
+        mgr.ite(mgr.literal(perm[static_cast<std::size_t>(v)]), high, low);
+    memo.emplace(node, out);
+    return out;
+  };
+  return rec(rec, f);
+}
+
+std::size_t size_under_order(BddManager& mgr, BddRef f,
+                             const std::vector<int>& perm) {
+  return mgr.dag_size(permute(mgr, f, perm));
+}
+
+SiftResult sift_order(BddManager& mgr, BddRef f, int max_rounds) {
+  const int n = mgr.num_vars();
+  SiftResult result;
+  result.perm.resize(static_cast<std::size_t>(n));
+  std::iota(result.perm.begin(), result.perm.end(), 0);
+  result.size_before = mgr.dag_size(f);
+  std::size_t best_size = result.size_before;
+
+  // order[level] = original variable at that level (inverse of perm).
+  std::vector<int> order(result.perm);
+
+  auto perm_of_order = [&](const std::vector<int>& ord) {
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int level = 0; level < n; ++level)
+      perm[static_cast<std::size_t>(ord[static_cast<std::size_t>(level)])] =
+          level;
+    return perm;
+  };
+
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (int i = 0; i < n; ++i) {
+      // Try moving the variable currently at level i to every other level.
+      int best_level = i;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        std::vector<int> candidate = order;
+        const int var = candidate[static_cast<std::size_t>(i)];
+        candidate.erase(candidate.begin() + i);
+        candidate.insert(candidate.begin() + j, var);
+        const std::size_t size =
+            size_under_order(mgr, f, perm_of_order(candidate));
+        if (size < best_size) {
+          best_size = size;
+          best_level = j;
+        }
+      }
+      if (best_level != i) {
+        const int var = order[static_cast<std::size_t>(i)];
+        order.erase(order.begin() + i);
+        order.insert(order.begin() + best_level, var);
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.perm = perm_of_order(order);
+  result.size_after = best_size;
+  return result;
+}
+
+}  // namespace sitm

@@ -1,0 +1,37 @@
+#pragma once
+// Variable reordering for the BDD package.
+//
+// The manager itself keeps a fixed order (variable index = level), so
+// reordering is implemented by *rebuilding*: `permute` constructs the
+// function obtained by renaming variable v to perm[v], and `sift_order`
+// greedily searches for an order minimizing the DAG size of a given
+// function (classic sifting, evaluated by rebuild — quadratic in the
+// variable count, fine at specification sizes).  The caller applies the
+// returned order by permuting its functions or re-encoding its problem.
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace sitm {
+
+/// f with variable v renamed to perm[v]; perm must be a permutation of
+/// 0..num_vars-1.
+BddRef permute(BddManager& mgr, BddRef f, const std::vector<int>& perm);
+
+/// DAG size of f under the order that places original variable order_pos[v]
+/// at level v (i.e. evaluates a candidate order without keeping the result).
+std::size_t size_under_order(BddManager& mgr, BddRef f,
+                             const std::vector<int>& perm);
+
+struct SiftResult {
+  std::vector<int> perm;   ///< best found renaming (old var -> new level)
+  std::size_t size_before = 0;
+  std::size_t size_after = 0;
+};
+
+/// Greedy sifting: repeatedly move each variable to its best level, keeping
+/// improvements.  `max_rounds` bounds the outer loop.
+SiftResult sift_order(BddManager& mgr, BddRef f, int max_rounds = 2);
+
+}  // namespace sitm

@@ -1,0 +1,313 @@
+#include "benchlib/generators.hpp"
+
+#include "util/error.hpp"
+
+namespace sitm {
+namespace bench {
+
+namespace {
+
+/// Small helper wrapping transition creation.
+struct Builder {
+  Stg stg;
+
+  int in(const std::string& name) { return stg.add_signal(name, SignalKind::kInput); }
+  int out(const std::string& name) {
+    return stg.add_signal(name, SignalKind::kOutput);
+  }
+  TransId plus(int sig, int inst = 1) { return stg.add_transition(sig, true, inst); }
+  TransId minus(int sig, int inst = 1) {
+    return stg.add_transition(sig, false, inst);
+  }
+  /// from -> to through an implicit place.
+  PlaceId arc(TransId from, TransId to) { return stg.connect_tt(from, to); }
+  /// from -> to, with the place initially marked.
+  void marked_arc(TransId from, TransId to) { stg.mark_initial(arc(from, to)); }
+};
+
+}  // namespace
+
+Stg make_pipeline(int stages) {
+  if (stages < 1) throw Error("make_pipeline: stages >= 1");
+  Builder b;
+  std::vector<int> r(stages), a(stages);
+  for (int i = 0; i < stages; ++i) {
+    r[i] = i == 0 ? b.in("r0") : b.out("r" + std::to_string(i));
+    a[i] = b.out("a" + std::to_string(i));
+  }
+  std::vector<TransId> rp(stages), rm(stages), ap(stages), am(stages);
+  for (int i = 0; i < stages; ++i) {
+    rp[i] = b.plus(r[i]);
+    rm[i] = b.minus(r[i]);
+    ap[i] = b.plus(a[i]);
+    am[i] = b.minus(a[i]);
+  }
+  for (int i = 0; i + 1 < stages; ++i) {
+    b.arc(rp[i], rp[i + 1]);  // request forwards
+    b.arc(ap[i + 1], ap[i]);  // ack returns
+    b.arc(rm[i], rm[i + 1]);
+    b.arc(am[i + 1], am[i]);
+  }
+  b.arc(rp[stages - 1], ap[stages - 1]);  // last stage handshake
+  b.arc(rm[stages - 1], am[stages - 1]);
+  b.arc(ap[0], rm[0]);       // environment: r0- after a0+
+  b.marked_arc(am[0], rp[0]);  // cycle restart, initially enabled
+  return std::move(b.stg);
+}
+
+Stg make_parallelizer(int branches) {
+  if (branches < 1) throw Error("make_parallelizer: branches >= 1");
+  Builder b;
+  const int r = b.in("r");
+  std::vector<int> g(branches);
+  for (int i = 0; i < branches; ++i) g[i] = b.out("g" + std::to_string(i));
+  const int d = b.out("d");
+
+  const TransId rp = b.plus(r), rm = b.minus(r);
+  const TransId dp = b.plus(d), dm = b.minus(d);
+  for (int i = 0; i < branches; ++i) {
+    const TransId gp = b.plus(g[i]), gm = b.minus(g[i]);
+    b.arc(rp, gp);
+    b.arc(gp, dp);  // join: d+ waits for every g+
+    b.arc(rm, gm);
+    b.arc(gm, dm);  // join: d- waits for every g-
+  }
+  b.arc(dp, rm);        // environment lowers r after done
+  b.marked_arc(dm, rp);  // restart
+  return std::move(b.stg);
+}
+
+Stg make_seq_chain(int length) {
+  if (length < 1) throw Error("make_seq_chain: length >= 1");
+  Builder b;
+  const int r = b.in("r");
+  std::vector<int> o(length);
+  for (int i = 0; i < length; ++i) o[i] = b.out("o" + std::to_string(i));
+  const int a = b.out("a");
+
+  const TransId rp = b.plus(r), rm = b.minus(r);
+  const TransId ap = b.plus(a), am = b.minus(a);
+  TransId prev = rp;
+  for (int i = 0; i < length; ++i) {
+    const TransId op = b.plus(o[i]);
+    b.arc(prev, op);
+    prev = op;
+  }
+  b.arc(prev, ap);
+  b.arc(ap, rm);
+  prev = rm;
+  for (int i = 0; i < length; ++i) {
+    const TransId om = b.minus(o[i]);
+    b.arc(prev, om);
+    prev = om;
+  }
+  b.arc(prev, am);
+  b.marked_arc(am, rp);
+  return std::move(b.stg);
+}
+
+Stg make_choice_mixer(int clients) {
+  if (clients < 1) throw Error("make_choice_mixer: clients >= 1");
+  Builder b;
+  std::vector<int> r(clients);
+  for (int i = 0; i < clients; ++i) r[i] = b.in("r" + std::to_string(i));
+  const int a = b.out("a");
+
+  const PlaceId idle = b.stg.add_place("idle");
+  b.stg.mark_initial(idle);
+  for (int i = 0; i < clients; ++i) {
+    const TransId rp = b.plus(r[i]), rm = b.minus(r[i]);
+    const TransId ap = b.plus(a, i + 1), am = b.minus(a, i + 1);
+    b.stg.connect_pt(idle, rp);
+    b.arc(rp, ap);
+    b.arc(ap, rm);
+    b.arc(rm, am);
+    b.stg.connect_tp(am, idle);
+  }
+  return std::move(b.stg);
+}
+
+Stg make_shared_out(int clients) {
+  if (clients < 1) throw Error("make_shared_out: clients >= 1");
+  Builder b;
+  std::vector<int> r(clients), a(clients);
+  for (int i = 0; i < clients; ++i) r[i] = b.in("r" + std::to_string(i));
+  const int z = b.out("z");
+  for (int i = 0; i < clients; ++i) a[i] = b.out("a" + std::to_string(i));
+
+  const PlaceId idle = b.stg.add_place("idle");
+  b.stg.mark_initial(idle);
+  for (int i = 0; i < clients; ++i) {
+    const TransId rp = b.plus(r[i]), rm = b.minus(r[i]);
+    const TransId zp = b.plus(z, i + 1), zm = b.minus(z, i + 1);
+    const TransId ap = b.plus(a[i]), am = b.minus(a[i]);
+    b.stg.connect_pt(idle, rp);
+    b.arc(rp, zp);
+    b.arc(zp, ap);
+    b.arc(ap, rm);
+    b.arc(rm, zm);
+    b.arc(zm, am);
+    b.stg.connect_tp(am, idle);
+  }
+  return std::move(b.stg);
+}
+
+Stg make_combo(int parallel, int sequential) {
+  if (parallel < 1 || sequential < 1)
+    throw Error("make_combo: positive sizes required");
+  Builder b;
+  const int ra = b.in("ra");
+  const int rb = b.in("rb");
+  std::vector<int> g(parallel), o(sequential);
+  for (int i = 0; i < parallel; ++i) g[i] = b.out("g" + std::to_string(i));
+  for (int i = 0; i < sequential; ++i) o[i] = b.out("o" + std::to_string(i));
+  const int d = b.out("d");
+
+  const PlaceId idle = b.stg.add_place("idle");
+  b.stg.mark_initial(idle);
+
+  // Mode A: p-way fork/join.
+  {
+    const TransId rp = b.plus(ra), rm = b.minus(ra);
+    const TransId dp = b.plus(d, 1), dm = b.minus(d, 1);
+    b.stg.connect_pt(idle, rp);
+    for (int i = 0; i < parallel; ++i) {
+      const TransId gp = b.plus(g[i]), gm = b.minus(g[i]);
+      b.arc(rp, gp);
+      b.arc(gp, dp);
+      b.arc(rm, gm);
+      b.arc(gm, dm);
+    }
+    b.arc(dp, rm);
+    b.stg.connect_tp(dm, idle);
+  }
+  // Mode B: s-deep sequence.
+  {
+    const TransId rp = b.plus(rb), rm = b.minus(rb);
+    const TransId dp = b.plus(d, 2), dm = b.minus(d, 2);
+    b.stg.connect_pt(idle, rp);
+    TransId prev = rp;
+    for (int i = 0; i < sequential; ++i) {
+      const TransId op = b.plus(o[i]);
+      b.arc(prev, op);
+      prev = op;
+    }
+    b.arc(prev, dp);
+    b.arc(dp, rm);
+    prev = rm;
+    for (int i = 0; i < sequential; ++i) {
+      const TransId om = b.minus(o[i]);
+      b.arc(prev, om);
+      prev = om;
+    }
+    b.arc(prev, dm);
+    b.stg.connect_tp(dm, idle);
+  }
+  return std::move(b.stg);
+}
+
+Stg make_ring(int cells) {
+  if (cells < 1) throw Error("make_ring: cells >= 1");
+  Builder b;
+  // Signal r is the environment kick; cell outputs c0..c{n-1}.
+  const int r = b.in("r");
+  std::vector<int> c(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i)
+    c[static_cast<std::size_t>(i)] = b.out("c" + std::to_string(i));
+
+  const TransId rp = b.plus(r), rm = b.minus(r);
+  std::vector<TransId> cp(static_cast<std::size_t>(cells)),
+      cm(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) {
+    cp[static_cast<std::size_t>(i)] = b.plus(c[static_cast<std::size_t>(i)]);
+    cm[static_cast<std::size_t>(i)] = b.minus(c[static_cast<std::size_t>(i)]);
+  }
+  // Rising wave around the ring, then r handshake, then falling wave.
+  b.arc(rp, cp[0]);
+  for (int i = 0; i + 1 < cells; ++i)
+    b.arc(cp[static_cast<std::size_t>(i)], cp[static_cast<std::size_t>(i + 1)]);
+  b.arc(cp[static_cast<std::size_t>(cells - 1)], rm);
+  b.arc(rm, cm[0]);
+  for (int i = 0; i + 1 < cells; ++i)
+    b.arc(cm[static_cast<std::size_t>(i)], cm[static_cast<std::size_t>(i + 1)]);
+  b.marked_arc(cm[static_cast<std::size_t>(cells - 1)], rp);
+  return std::move(b.stg);
+}
+
+Stg make_tree(int depth) {
+  if (depth < 1 || depth > 4) throw Error("make_tree: depth in 1..4");
+  Builder b;
+  const int r = b.in("r");
+  // Internal nodes n<level>_<index>, leaves at the last level; done at root.
+  const int leaves = 1 << depth;
+  std::vector<int> leaf(static_cast<std::size_t>(leaves));
+  for (int i = 0; i < leaves; ++i)
+    leaf[static_cast<std::size_t>(i)] = b.out("l" + std::to_string(i));
+  // Join levels: one signal per internal node (including the root 'done').
+  std::vector<std::vector<int>> join(static_cast<std::size_t>(depth));
+  for (int level = depth - 1; level >= 0; --level) {
+    const int width = 1 << level;
+    join[static_cast<std::size_t>(level)].resize(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i)
+      join[static_cast<std::size_t>(level)][static_cast<std::size_t>(i)] =
+          b.out("j" + std::to_string(level) + "_" + std::to_string(i));
+  }
+
+  const TransId rp = b.plus(r), rm = b.minus(r);
+  std::vector<TransId> leafp(static_cast<std::size_t>(leaves)),
+      leafm(static_cast<std::size_t>(leaves));
+  for (int i = 0; i < leaves; ++i) {
+    leafp[static_cast<std::size_t>(i)] = b.plus(leaf[static_cast<std::size_t>(i)]);
+    leafm[static_cast<std::size_t>(i)] = b.minus(leaf[static_cast<std::size_t>(i)]);
+    b.arc(rp, leafp[static_cast<std::size_t>(i)]);
+    b.arc(rm, leafm[static_cast<std::size_t>(i)]);
+  }
+  // Level depth-1 joins pairs of leaves; upper levels join pairs of joins.
+  std::vector<TransId> prevp = leafp, prevm = leafm;
+  for (int level = depth - 1; level >= 0; --level) {
+    const int width = 1 << level;
+    std::vector<TransId> curp(static_cast<std::size_t>(width)),
+        curm(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      const int sig = join[static_cast<std::size_t>(level)][static_cast<std::size_t>(i)];
+      curp[static_cast<std::size_t>(i)] = b.plus(sig);
+      curm[static_cast<std::size_t>(i)] = b.minus(sig);
+      b.arc(prevp[static_cast<std::size_t>(2 * i)], curp[static_cast<std::size_t>(i)]);
+      b.arc(prevp[static_cast<std::size_t>(2 * i + 1)], curp[static_cast<std::size_t>(i)]);
+      b.arc(prevm[static_cast<std::size_t>(2 * i)], curm[static_cast<std::size_t>(i)]);
+      b.arc(prevm[static_cast<std::size_t>(2 * i + 1)], curm[static_cast<std::size_t>(i)]);
+    }
+    prevp = std::move(curp);
+    prevm = std::move(curm);
+  }
+  b.arc(prevp[0], rm);        // root join acknowledges: env lowers r
+  b.marked_arc(prevm[0], rp);  // restart
+  return std::move(b.stg);
+}
+
+Stg make_hazard() {
+  Builder b;
+  const int a = b.in("a");
+  const int d = b.in("d");
+  const int c = b.out("c");
+  const int x = b.out("x");
+
+  const TransId ap = b.plus(a), am = b.minus(a);
+  const TransId dp = b.plus(d), dm = b.minus(d);
+  const TransId cp = b.plus(c), cm = b.minus(c);
+  const TransId xp = b.plus(x), xm = b.minus(x);
+
+  b.arc(ap, cp);   // a+ -> c+
+  b.arc(cp, am);   // c+ -> a-
+  b.arc(am, xp);   // join: x+ after a- ...
+  b.arc(dp, xp);   // ... and after d+
+  b.arc(xp, cm);   // x+ -> c-
+  b.arc(cm, dm);   // c- -> d-
+  b.arc(dm, xm);   // d- -> x-
+  b.marked_arc(xm, ap);  // cycle restart: a+ and d+ concurrently
+  b.marked_arc(xm, dp);
+  return std::move(b.stg);
+}
+
+}  // namespace bench
+}  // namespace sitm

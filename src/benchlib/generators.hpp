@@ -1,0 +1,53 @@
+#pragma once
+// Parametric STG families for the benchmark suite, property tests and
+// scaling experiments.
+//
+// Every generator returns a consistent, 1-safe, speed-independent STG whose
+// reachability graph satisfies CSC — i.e. a valid input to the mapping flow
+// (the test suite re-checks this for every instance).  The families mirror
+// the structural patterns of the classical asynchronous benchmarks:
+//
+//   * pipeline(n)       — 4-phase full-handshake pipeline (marked graph);
+//                         small 1-2 literal covers.
+//   * parallelizer(k)   — one request forks k grant signals joined by a done
+//                         signal: a k-literal AND join (the high-fanin
+//                         pattern of vbe10b / pe-send-ifc).
+//   * seq_chain(k)      — thermometer sequencer r -> o1 -> ... -> ok -> a.
+//   * choice_mixer(k)   — environment chooses one of k requests, all served
+//                         by one ack: a k-cube OR cover.
+//   * shared_out(k)     — k clients toggling a shared output z with private
+//                         acks: multi-cube covers (z reset = sum ai*~ri).
+//   * combo(p, s)       — input choice between a p-way parallel mode and an
+//                         s-deep sequential mode sharing the done signal:
+//                         multi-cube high-fanin covers (the mr0/mmu shape).
+//   * hazard()          — faithful reconstruction of the paper's running
+//                         example (Fig. 1): inputs a, d; outputs c, x with
+//                         Sx = a'*c*d, whose divisor a'*d is illegal (diamond
+//                         intersection) while a'*c and c*d are legal.
+
+#include "stg/stg.hpp"
+
+namespace sitm {
+namespace bench {
+
+Stg make_pipeline(int stages);
+Stg make_parallelizer(int branches);
+Stg make_seq_chain(int length);
+Stg make_choice_mixer(int clients);
+Stg make_shared_out(int clients);
+Stg make_combo(int parallel, int sequential);
+Stg make_hazard();
+
+/// Token ring of n handshake cells: cell i requests its successor and waits
+/// for the grant to travel around (one token circulating; thermometer
+/// codes).  Exercises long sequential dependency chains.
+Stg make_ring(int cells);
+
+/// Complete binary fork/join tree of depth d: the root request forks to 2^d
+/// leaves and the done signal joins them level by level — every join is a
+/// natural 2-input C element (already implementable; a regression guard
+/// that the mapper leaves good circuits alone).
+Stg make_tree(int depth);
+
+}  // namespace bench
+}  // namespace sitm

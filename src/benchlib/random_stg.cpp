@@ -1,0 +1,102 @@
+#include "benchlib/random_stg.hpp"
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sitm {
+namespace bench {
+
+Stg make_random_stg(std::uint64_t seed, const RandomStgOptions& opts) {
+  Rng rng(seed);
+  Stg stg;
+
+  // Random shape: 1..3 modes selected by environment choice; each mode is a
+  // parallel fork of chains.  Shapes compose the verified generator
+  // patterns (choice of {fork of chains}), so every instance is valid by
+  // construction.
+  const int modes = opts.allow_choice ? 1 + static_cast<int>(rng.below(3)) : 1;
+
+  struct Branch {
+    std::vector<int> signals;  // chain of output signals
+  };
+  struct Mode {
+    int request = -1;  // input signal
+    int done_instance = 1;
+    std::vector<Branch> branches;
+  };
+
+  // Pick the shape under the signal budget: inputs + outputs + done.
+  std::vector<Mode> shape(static_cast<std::size_t>(modes));
+  int budget =
+      static_cast<int>(rng.range(static_cast<std::uint64_t>(opts.min_signals),
+                                 static_cast<std::uint64_t>(opts.max_signals)));
+  budget -= modes + 1;  // request inputs + the shared done signal
+  if (budget < modes) budget = modes;  // at least one output per mode
+
+  int out_counter = 0;
+  for (int m = 0; m < modes; ++m) {
+    auto& mode = shape[static_cast<std::size_t>(m)];
+    mode.request = stg.add_signal("r" + std::to_string(m), SignalKind::kInput);
+    mode.done_instance = m + 1;
+    const int share = budget / (modes - m);
+    budget -= share;
+    const int width = 1 + static_cast<int>(rng.below(
+                              static_cast<std::uint64_t>(
+                                  std::min(opts.max_fork, std::max(1, share)))));
+    int remaining = std::max(1, share);
+    for (int b = 0; b < width; ++b) {
+      Branch branch;
+      const int avail = remaining - (width - b - 1);  // leave 1 per branch
+      const int len =
+          b + 1 == width
+              ? std::max(1, remaining)
+              : 1 + static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(std::max(1, avail))));
+      for (int i = 0; i < len; ++i) {
+        branch.signals.push_back(stg.add_signal(
+            "o" + std::to_string(out_counter++), SignalKind::kOutput));
+      }
+      remaining -= len;
+      mode.branches.push_back(std::move(branch));
+      if (remaining <= 0 && b + 1 < width) {
+        break;  // budget exhausted; fewer branches than drawn
+      }
+    }
+  }
+  const int done = stg.add_signal("done", SignalKind::kOutput);
+
+  const PlaceId idle = stg.add_place("idle");
+  stg.mark_initial(idle);
+
+  for (const auto& mode : shape) {
+    const TransId rp = stg.add_transition(mode.request, true);
+    const TransId rm = stg.add_transition(mode.request, false);
+    const TransId dp = stg.add_transition(done, true, mode.done_instance);
+    const TransId dm = stg.add_transition(done, false, mode.done_instance);
+    stg.connect_pt(idle, rp);
+    for (const auto& branch : mode.branches) {
+      TransId prev = rp;
+      for (int sig : branch.signals) {
+        const TransId op = stg.add_transition(sig, true);
+        stg.connect_tt(prev, op);
+        prev = op;
+      }
+      stg.connect_tt(prev, dp);  // join
+      prev = rm;
+      for (int sig : branch.signals) {
+        const TransId om = stg.add_transition(sig, false);
+        stg.connect_tt(prev, om);
+        prev = om;
+      }
+      stg.connect_tt(prev, dm);  // join
+    }
+    stg.connect_tt(dp, rm);
+    stg.connect_tp(dm, idle);
+  }
+  return stg;
+}
+
+}  // namespace bench
+}  // namespace sitm

@@ -1,0 +1,31 @@
+#pragma once
+// Seeded random STG generation for property testing and fuzzing.
+//
+// Generated nets are random series-parallel "handshake skeletons": a cyclic
+// alternation of sequential segments, parallel fork/join blocks and
+// (optionally) input choice blocks, each expanded into rise/fall transition
+// pairs.  By construction every instance is a live, 1-safe, consistent STG
+// whose reachability graph is deterministic, commutative and
+// output-persistent; CSC holds because every signal toggles exactly once per
+// cycle phase (the test suite re-verifies all of this for each seed).
+
+#include "stg/stg.hpp"
+#include "util/rng.hpp"
+
+namespace sitm {
+namespace bench {
+
+struct RandomStgOptions {
+  int min_signals = 4;
+  int max_signals = 12;
+  /// Maximum branches of one parallel fork.
+  int max_fork = 4;
+  /// Whether to wrap the skeleton in an input-choice block (two modes).
+  bool allow_choice = true;
+};
+
+/// Deterministic random STG for `seed`.
+Stg make_random_stg(std::uint64_t seed, const RandomStgOptions& opts = {});
+
+}  // namespace bench
+}  // namespace sitm

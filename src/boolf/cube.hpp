@@ -1,0 +1,107 @@
+#pragma once
+// Cubes (product terms) over at most 64 boolean variables.
+//
+// A cube stores a `care` mask (which variables appear as literals) and a
+// `val` mask (their polarities).  A minterm is a cube with all variables in
+// `care`; the all-don't-care cube is the constant 1.
+
+#include <cstdint>
+#include <string>
+
+namespace sitm {
+
+struct Cube {
+  std::uint64_t val = 0;   ///< polarity of each cared variable (1 = positive)
+  std::uint64_t care = 0;  ///< which variables appear as literals
+
+  /// The universal cube (constant 1).
+  static Cube one() { return Cube{}; }
+  /// A minterm from a full assignment over `nvars` variables.
+  static Cube minterm(std::uint64_t code, int nvars) {
+    const std::uint64_t mask =
+        nvars >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nvars) - 1);
+    return Cube{code & mask, mask};
+  }
+  /// Single-literal cube.
+  static Cube literal(int var, bool positive) {
+    const std::uint64_t bit = std::uint64_t{1} << var;
+    return Cube{positive ? bit : 0, bit};
+  }
+
+  bool operator==(const Cube&) const = default;
+  /// Lexicographic order for canonical sorting of covers.
+  bool operator<(const Cube& o) const {
+    return care != o.care ? care < o.care : val < o.val;
+  }
+
+  int num_literals() const { return __builtin_popcountll(care); }
+  bool is_one() const { return care == 0; }
+
+  bool has_literal(int var) const { return (care >> var) & 1u; }
+  /// Polarity of a present literal.
+  bool polarity(int var) const { return (val >> var) & 1u; }
+
+  /// Add/overwrite a literal.
+  Cube with_literal(int var, bool positive) const {
+    Cube c = *this;
+    const std::uint64_t bit = std::uint64_t{1} << var;
+    c.care |= bit;
+    c.val = positive ? (c.val | bit) : (c.val & ~bit);
+    return c;
+  }
+  /// Remove a literal (expand).
+  Cube without_literal(int var) const {
+    Cube c = *this;
+    const std::uint64_t bit = std::uint64_t{1} << var;
+    c.care &= ~bit;
+    c.val &= ~bit;
+    return c;
+  }
+
+  /// Does this cube evaluate to 1 on the full assignment `code`?
+  bool contains_code(std::uint64_t code) const {
+    return ((code ^ val) & care) == 0;
+  }
+  /// Is `o`'s on-set a subset of ours?  (o => this)
+  bool contains(const Cube& o) const {
+    return (care & ~o.care) == 0 && ((val ^ o.val) & care) == 0;
+  }
+  /// Do the cubes share a minterm?
+  bool intersects(const Cube& o) const {
+    return ((val ^ o.val) & care & o.care) == 0;
+  }
+  /// Intersection (only valid if intersects()).
+  Cube meet(const Cube& o) const { return Cube{val | o.val, care | o.care}; }
+  /// Smallest cube containing both.
+  Cube supercube(const Cube& o) const {
+    const std::uint64_t agree = care & o.care & ~(val ^ o.val);
+    return Cube{val & agree, agree};
+  }
+  /// Number of variables with conflicting literals (espresso "distance").
+  int distance(const Cube& o) const {
+    return __builtin_popcountll((val ^ o.val) & care & o.care);
+  }
+
+  /// Cofactor with respect to literal (var=value); precondition: the cube
+  /// does not conflict with it.
+  Cube cofactor(int var, bool value) const {
+    (void)value;
+    return without_literal(var);
+  }
+
+  /// Render as e.g. "a b' d" given variable names; "1" for the universal cube.
+  template <typename Names>
+  std::string to_string(const Names& names) const {
+    if (is_one()) return "1";
+    std::string out;
+    for (int v = 0; v < 64; ++v) {
+      if (!has_literal(v)) continue;
+      if (!out.empty()) out += ' ';
+      out += names[v];
+      if (!polarity(v)) out += '\'';
+    }
+    return out;
+  }
+};
+
+}  // namespace sitm

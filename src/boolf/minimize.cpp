@@ -1,0 +1,190 @@
+#include "boolf/minimize.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace sitm {
+
+namespace {
+
+bool cube_hits_off(const Cube& c, const std::vector<std::uint64_t>& off) {
+  for (const auto code : off)
+    if (c.contains_code(code)) return true;
+  return false;
+}
+
+std::vector<std::uint64_t> dedup(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+Cube expand_minterm(std::uint64_t code, const std::vector<std::uint64_t>& off,
+                    int num_vars, const std::vector<int>& var_order) {
+  Cube cube = Cube::minterm(code, num_vars);
+  bool changed = true;
+  // Iterate to a fixpoint: removing one literal can enable another.
+  while (changed) {
+    changed = false;
+    for (int v : var_order) {
+      if (!cube.has_literal(v)) continue;
+      const Cube wider = cube.without_literal(v);
+      if (!cube_hits_off(wider, off)) {
+        cube = wider;
+        changed = true;
+      }
+    }
+  }
+  return cube;
+}
+
+std::vector<Cube> irredundant(const std::vector<Cube>& cubes,
+                              const std::vector<std::uint64_t>& on) {
+  // coverage[i] = indices of on-minterms covered by cube i.
+  std::vector<std::vector<int>> coverage(cubes.size());
+  std::vector<int> cover_count(on.size(), 0);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    for (std::size_t m = 0; m < on.size(); ++m) {
+      if (cubes[i].contains_code(on[m])) {
+        coverage[i].push_back(static_cast<int>(m));
+        ++cover_count[m];
+      }
+    }
+  }
+
+  std::vector<char> selected(cubes.size(), 0);
+  std::vector<char> covered(on.size(), 0);
+  std::size_t num_covered = 0;
+
+  auto select = [&](std::size_t i) {
+    if (selected[i]) return;
+    selected[i] = 1;
+    for (int m : coverage[i]) {
+      if (!covered[m]) {
+        covered[m] = 1;
+        ++num_covered;
+      }
+    }
+  };
+
+  // Essential cubes: sole cover of some minterm.
+  for (std::size_t m = 0; m < on.size(); ++m) {
+    if (cover_count[m] == 1) {
+      for (std::size_t i = 0; i < cubes.size(); ++i) {
+        if (!coverage[i].empty() && cubes[i].contains_code(on[m])) {
+          select(i);
+          break;
+        }
+      }
+    }
+  }
+
+  // Greedy: biggest marginal coverage, ties by fewer literals.
+  while (num_covered < on.size()) {
+    std::size_t best = cubes.size();
+    int best_gain = -1, best_lits = 65;
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      if (selected[i]) continue;
+      int gain = 0;
+      for (int m : coverage[i])
+        if (!covered[m]) ++gain;
+      const int lits = cubes[i].num_literals();
+      if (gain > best_gain || (gain == best_gain && lits < best_lits)) {
+        best_gain = gain;
+        best_lits = lits;
+        best = i;
+      }
+    }
+    if (best == cubes.size() || best_gain <= 0)
+      throw Error("irredundant: on-set not coverable by candidate cubes");
+    select(best);
+  }
+
+  std::vector<Cube> out;
+  for (std::size_t i = 0; i < cubes.size(); ++i)
+    if (selected[i]) out.push_back(cubes[i]);
+  return out;
+}
+
+Cover minimize_onoff(const std::vector<std::uint64_t>& on_in,
+                     const std::vector<std::uint64_t>& off_in, int num_vars,
+                     const MinimizeOptions& opts) {
+  const std::uint64_t mask =
+      num_vars >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << num_vars) - 1);
+  std::vector<std::uint64_t> on, off;
+  on.reserve(on_in.size());
+  off.reserve(off_in.size());
+  for (auto c : on_in) on.push_back(c & mask);
+  for (auto c : off_in) off.push_back(c & mask);
+  on = dedup(std::move(on));
+  off = dedup(std::move(off));
+  {
+    // Sorted-merge intersection check.
+    std::size_t i = 0, j = 0;
+    while (i < on.size() && j < off.size()) {
+      if (on[i] == off[j]) throw Error("minimize_onoff: on/off sets intersect");
+      (on[i] < off[j]) ? ++i : ++j;
+    }
+  }
+  if (on.empty()) return Cover::zero(num_vars);
+  if (off.empty()) return Cover::one(num_vars);
+
+  // Variable removal order: try to drop the variables that least often
+  // distinguish on from off first (globally uninformative literals).
+  std::vector<int> var_order(static_cast<std::size_t>(num_vars));
+  std::iota(var_order.begin(), var_order.end(), 0);
+  {
+    std::vector<long> on_ones(static_cast<std::size_t>(num_vars), 0);
+    std::vector<long> off_ones(static_cast<std::size_t>(num_vars), 0);
+    for (auto c : on)
+      for (int v = 0; v < num_vars; ++v) on_ones[v] += (c >> v) & 1;
+    for (auto c : off)
+      for (int v = 0; v < num_vars; ++v) off_ones[v] += (c >> v) & 1;
+    std::vector<double> info(static_cast<std::size_t>(num_vars));
+    for (int v = 0; v < num_vars; ++v) {
+      const double pon = static_cast<double>(on_ones[v]) / on.size();
+      const double poff = static_cast<double>(off_ones[v]) / off.size();
+      info[v] = std::abs(pon - poff);
+    }
+    std::stable_sort(var_order.begin(), var_order.end(),
+                     [&](int a, int b) { return info[a] < info[b]; });
+  }
+
+  std::vector<Cube> primes;
+  primes.reserve(on.size());
+  for (auto code : on) {
+    const Cube c = expand_minterm(code, off, num_vars, var_order);
+    if (std::find(primes.begin(), primes.end(), c) == primes.end())
+      primes.push_back(c);
+  }
+  std::vector<Cube> chosen = irredundant(primes, on);
+
+  // Refinement: re-expand each chosen cube with a reversed order and keep
+  // the variant set if it lowers the literal count.
+  for (int pass = 1; pass < opts.passes; ++pass) {
+    std::vector<int> reversed(var_order.rbegin(), var_order.rend());
+    std::vector<Cube> alt = primes;
+    for (auto code : on) {
+      const Cube c = expand_minterm(code, off, num_vars, reversed);
+      if (std::find(alt.begin(), alt.end(), c) == alt.end()) alt.push_back(c);
+    }
+    std::vector<Cube> alt_chosen = irredundant(alt, on);
+    auto lits = [](const std::vector<Cube>& v) {
+      int n = 0;
+      for (const auto& c : v) n += c.num_literals();
+      return n;
+    };
+    if (lits(alt_chosen) < lits(chosen)) chosen = std::move(alt_chosen);
+  }
+
+  Cover out(num_vars, std::move(chosen));
+  out.make_minimal_wrt_containment();
+  out.sort();
+  return out;
+}
+
+}  // namespace sitm

@@ -1,0 +1,168 @@
+#include "core/csc.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/insertion.hpp"
+#include "sg/properties.hpp"
+#include "sg/regions.hpp"
+#include "util/error.hpp"
+
+namespace sitm {
+
+namespace {
+
+/// Bitmask of enabled non-input events of a state (2 bits per signal).
+std::uint64_t output_event_mask(const StateGraph& sg, StateId s) {
+  std::uint64_t mask = 0;
+  for (const auto& e : sg.succs(s)) {
+    if (is_noninput(sg.signal(e.event.signal).kind))
+      mask |= std::uint64_t{1}
+              << (2 * (e.event.signal % 32) + (e.event.rising ? 1 : 0));
+  }
+  return mask;
+}
+
+struct ConflictInfo {
+  int pairs = 0;
+  /// States participating in at least one conflict.
+  DynBitset involved;
+};
+
+ConflictInfo csc_conflicts(const StateGraph& sg) {
+  ConflictInfo info{0, sg.empty_set()};
+  std::map<StateCode, std::vector<StateId>> by_code;
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
+    by_code[sg.code(s)].push_back(s);
+  for (const auto& [code, states] : by_code) {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      for (std::size_t j = i + 1; j < states.size(); ++j) {
+        if (output_event_mask(sg, states[i]) !=
+            output_event_mask(sg, states[j])) {
+          ++info.pairs;
+          info.involved.set(static_cast<std::size_t>(states[i]));
+          info.involved.set(static_cast<std::size_t>(states[j]));
+        }
+      }
+    }
+  }
+  return info;
+}
+
+/// Fresh internal signal name for state encoding.
+std::string fresh_csc_name(const StateGraph& sg, int counter) {
+  while (true) {
+    std::string name = "csc" + std::to_string(counter);
+    if (sg.find_signal(name) < 0) return name;
+    ++counter;
+  }
+}
+
+}  // namespace
+
+int count_csc_conflicts(const StateGraph& sg) {
+  return csc_conflicts(sg).pairs;
+}
+
+CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
+  CscResult result;
+  result.sg = std::make_shared<StateGraph>(input);
+  result.sg->prune_unreachable();
+
+  if (auto r = check_consistency(*result.sg); !r)
+    throw Error("resolve_csc: inconsistent SG: " + r.why);
+  if (auto r = check_speed_independence(*result.sg); !r)
+    throw Error("resolve_csc: not speed-independent: " + r.why);
+
+  int name_counter = 0;
+  while (true) {
+    StateGraph& sg = *result.sg;
+    const ConflictInfo conflicts = csc_conflicts(sg);
+    if (conflicts.pairs == 0) {
+      result.resolved = true;
+      return result;
+    }
+    if (result.signals_inserted >= opts.max_insertions) {
+      result.failure = "insertion limit reached";
+      return result;
+    }
+
+    // Candidate latches bounded by event pairs.  Events whose switching
+    // regions touch the conflict states first — they are the natural
+    // separators.
+    std::vector<Event> events;
+    for (int sig = 0; sig < sg.num_signals(); ++sig)
+      for (bool rising : {true, false}) {
+        const Event e{sig, rising};
+        for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
+          if (sg.enabled(s, e)) {
+            events.push_back(e);
+            break;
+          }
+      }
+
+    struct Best {
+      StateGraph sg;
+      int pairs = 0;
+      CscStep step;
+    };
+    std::optional<Best> best;
+    std::size_t examined = 0;
+
+    for (const Event& e1 : events) {
+      for (const Event& e2 : events) {
+        if (e1 == e2) continue;
+        if (examined >= opts.max_candidates) break;
+        ++examined;
+
+        // set/reset seeds: the switching regions of the bounding events.
+        DynBitset set_states = sg.empty_set();
+        DynBitset reset_states = sg.empty_set();
+        for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+          for (const auto& edge : sg.succs(s)) {
+            if (edge.event == e1) set_states.set(edge.target);
+            if (edge.event == e2) reset_states.set(edge.target);
+          }
+        }
+
+        auto plan = plan_state_latch_insertion(sg, set_states, reset_states);
+        if (!plan) continue;
+        // Useless if it does not split any conflicting code class: some
+        // involved state must differ in the latch value from a conflicting
+        // partner; cheap necessary test: S1 neither contains nor misses all
+        // involved states.
+        const DynBitset involved_in = conflicts.involved & plan->s1;
+        if (involved_in.none() ||
+            involved_in.count() == conflicts.involved.count())
+          continue;
+
+        const std::string name = fresh_csc_name(sg, name_counter);
+        StateGraph next = insert_signal(sg, *plan, name);
+        if (!verify_insertion(sg, next, /*require_csc=*/false)) continue;
+        const int pairs_after = count_csc_conflicts(next);
+        if (pairs_after >= conflicts.pairs) continue;
+
+        Best candidate{std::move(next), pairs_after,
+                       CscStep{name, e1, e2, conflicts.pairs, pairs_after}};
+        if (!best || candidate.pairs < best->pairs ||
+            (candidate.pairs == best->pairs &&
+             candidate.sg.num_states() < best->sg.num_states())) {
+          best = std::move(candidate);
+        }
+        if (best && best->pairs == 0) break;
+      }
+      if ((best && best->pairs == 0) || examined >= opts.max_candidates) break;
+    }
+
+    if (!best) {
+      result.failure = "no event-bounded latch reduces the CSC conflicts";
+      return result;
+    }
+    result.sg = std::make_shared<StateGraph>(std::move(best->sg));
+    result.steps.push_back(best->step);
+    ++result.signals_inserted;
+    ++name_counter;
+  }
+}
+
+}  // namespace sitm

@@ -1,0 +1,52 @@
+#pragma once
+// Complete State Coding resolution.
+//
+// The mapping flow requires CSC (paper Section 2.1); when a specification
+// violates it, state signals must be inserted first.  This module implements
+// the companion step the paper delegates to [6] ("Complete state encoding
+// based on the theory of regions"): it reuses the same SIP-preserving event
+// insertion machinery, choosing insertion latches whose value separates the
+// conflicting states.
+//
+// Candidate generation: for every ordered pair of events (e1, e2) the
+// candidate signal is set right after e1 fires and reset right after e2
+// fires (a state-set latch over SR(e1) / SR(e2)).  A candidate is committed
+// when it strictly reduces the number of CSC conflict pairs while preserving
+// consistency, speed-independence and persistency.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace sitm {
+
+struct CscOptions {
+  int max_insertions = 12;
+  /// Upper bound on (e1, e2) candidate pairs examined per iteration.
+  std::size_t max_candidates = 256;
+};
+
+struct CscStep {
+  std::string new_signal;
+  Event set_after, reset_after;  ///< the events bounding the latch
+  int conflicts_before = 0, conflicts_after = 0;
+};
+
+struct CscResult {
+  bool resolved = false;
+  std::string failure;
+  int signals_inserted = 0;
+  std::shared_ptr<StateGraph> sg;
+  std::vector<CscStep> steps;
+};
+
+/// Number of CSC conflict pairs: pairs of states with equal codes enabling
+/// different non-input event sets.
+int count_csc_conflicts(const StateGraph& sg);
+
+/// Insert state signals until the SG satisfies CSC (or give up).
+CscResult resolve_csc(const StateGraph& sg, const CscOptions& opts = {});
+
+}  // namespace sitm

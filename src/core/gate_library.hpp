@@ -1,0 +1,15 @@
+#pragma once
+// The library model of the paper's experiments: all sum-of-product gates
+// with at most `max_literals` literals (complemented or not) are available,
+// plus C elements.  Table 1 evaluates i = 2, 3, 4.
+
+namespace sitm {
+
+struct GateLibrary {
+  int max_literals = 2;
+
+  /// Does a gate of complexity `literals` exist in the library?
+  bool fits(int literals) const { return literals <= max_literals; }
+};
+
+}  // namespace sitm

@@ -1,0 +1,346 @@
+#include "core/insertion.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sitm {
+
+namespace {
+
+/// Grow one excitation region of the new signal inside `block` starting from
+/// the input border `seed`, per steps 2-4 of the paper's procedure.
+/// Returns false (with a reason) when forced outside the block.
+bool grow_region(const StateGraph& sg, const DynBitset& block,
+                 const std::vector<Diamond>& diamonds, DynBitset* er,
+                 std::string* why) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Step 2 — well-formedness: predecessors of ER states inside the block
+    // belong to the ER (no event may lead from block\ER into the ER).
+    // Iterate to the fixpoint with a worklist over current ER states.
+    std::vector<StateId> work = [&] {
+      std::vector<StateId> w;
+      er->for_each([&](std::size_t s) { w.push_back(static_cast<StateId>(s)); });
+      return w;
+    }();
+    while (!work.empty()) {
+      const StateId v = work.back();
+      work.pop_back();
+      for (const auto& p : sg.preds(v)) {
+        const StateId u = p.target;
+        if (block.test(u) && !er->test(u)) {
+          er->set(u);
+          work.push_back(u);
+          changed = true;
+        }
+      }
+    }
+
+    // Step 4 — interface preservation: an input event enabled in an ER state
+    // must not be delayed by the insertion, so its successor joins the ER.
+    er->for_each([&](std::size_t s) {
+      for (const auto& edge : sg.succs(static_cast<StateId>(s))) {
+        if (sg.signal(edge.event.signal).kind != SignalKind::kInput) continue;
+        if (er->test(edge.target)) continue;
+        if (!block.test(edge.target)) {
+          if (why)
+            *why = strfmt("input event %s would leave the insertion block",
+                          sg.event_string(edge.event).c_str());
+          changed = false;  // fatal
+          er->set(edge.target);  // poison marker; caller sees failure
+        } else {
+          er->set(edge.target);
+          changed = true;
+        }
+      }
+    });
+    // Detect the poison marker (any ER state outside the block).
+    if (!er->subset_of(block)) return false;
+
+    // Step 3 — SIP: close illegal diamond intersections.  If both middle
+    // corners of a diamond lie in the ER but the top does not, two
+    // concurrent events enter the ER in either order and their join must
+    // still carry the pending transition — otherwise the second event is
+    // disabled in the pre-copy of the first (a persistency violation).
+    for (const auto& d : diamonds) {
+      if (er->test(d.left) && er->test(d.right) && !er->test(d.top)) {
+        if (!block.test(d.top)) {
+          if (why)
+            *why = strfmt("diamond closure forced out of block at state %s",
+                          sg.code_string(d.top).c_str());
+          return false;
+        }
+        er->set(d.top);
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Finish a plan given its S1 block: compute input borders, grow the
+/// excitation regions, and validate the partition.
+std::optional<InsertionPlan> finish_plan(const StateGraph& sg,
+                                         InsertionPlan plan,
+                                         InsertionFailure* failure) {
+  auto fail = [&](std::string why) -> std::optional<InsertionPlan> {
+    if (failure) failure->why = std::move(why);
+    return std::nullopt;
+  };
+  const DynBitset s0 = ~plan.s1;
+
+  // Input borders: states where f changes value along an arc.
+  plan.er_rise = sg.empty_set();
+  plan.er_fall = sg.empty_set();
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    for (const auto& edge : sg.succs(s)) {
+      if (!plan.s1.test(s) && plan.s1.test(edge.target))
+        plan.er_rise.set(edge.target);
+      if (plan.s1.test(s) && !plan.s1.test(edge.target))
+        plan.er_fall.set(edge.target);
+    }
+  }
+  if (plan.er_rise.none() && plan.er_fall.none())
+    return fail("divisor function never changes value");
+
+  const auto diamonds = enumerate_diamonds(sg);
+  std::string why;
+  if (!grow_region(sg, plan.s1, diamonds, &plan.er_rise, &why))
+    return fail("ER(x+): " + why);
+  if (!grow_region(sg, s0, diamonds, &plan.er_fall, &why))
+    return fail("ER(x-): " + why);
+
+  // A state cannot host both a pending rise and a pending fall.
+  if (!plan.er_rise.disjoint(plan.er_fall))
+    return fail("ER(x+) and ER(x-) overlap");
+
+  // Cross-region hazard: a diamond with one middle corner inside ER(x+)
+  // whose top lands in ER(x-) means a concurrent event makes f fall while
+  // x+ is still pending — the pending transition would have to be
+  // cancelled, which Muller semantics forbids.  (Symmetrically for x-.)
+  for (const auto& dia : diamonds) {
+    const bool mid_rise =
+        plan.er_rise.test(dia.left) || plan.er_rise.test(dia.right);
+    const bool mid_fall =
+        plan.er_fall.test(dia.left) || plan.er_fall.test(dia.right);
+    if (mid_rise && plan.er_fall.test(dia.top))
+      return fail("concurrent event cancels pending x+ (diamond into ER(x-))");
+    if (mid_fall && plan.er_rise.test(dia.top))
+      return fail("concurrent event cancels pending x- (diamond into ER(x+))");
+  }
+
+  const StateId init = sg.initial();
+  plan.initial_value = plan.s1.test(init) && !plan.er_rise.test(init);
+  if (plan.er_fall.test(init)) plan.initial_value = true;
+  return plan;
+}
+
+}  // namespace
+
+std::optional<InsertionPlan> plan_insertion(const StateGraph& sg,
+                                            const Cover& f,
+                                            InsertionFailure* failure) {
+  InsertionPlan plan;
+  plan.f = f;
+  plan.f_reset = Cover(f.num_vars());
+  plan.s1 = sg.empty_set();
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
+    if (f.eval(sg.code(s))) plan.s1.set(s);
+  return finish_plan(sg, std::move(plan), failure);
+}
+
+std::optional<InsertionPlan> plan_latch_insertion(const StateGraph& sg,
+                                                  const Cover& f_set,
+                                                  const Cover& f_reset,
+                                                  InsertionFailure* failure) {
+  auto fail = [&](std::string why) -> std::optional<InsertionPlan> {
+    if (failure) failure->why = std::move(why);
+    return std::nullopt;
+  };
+
+  InsertionPlan plan;
+  plan.f = f_set;
+  plan.f_reset = f_reset;
+  plan.latch = true;
+  plan.s1 = sg.empty_set();
+
+  // Propagate SR-latch semantics over the reachable graph: value 1 where
+  // f_set holds, 0 where f_reset holds, inherited from predecessors
+  // elsewhere.  Any conflict means the latch value is not well-defined.
+  const auto n = static_cast<StateId>(sg.num_states());
+  std::vector<signed char> value(static_cast<std::size_t>(n), -1);
+  const StateId init = sg.initial();
+  auto forced = [&](StateId s) -> int {
+    const StateCode code = sg.code(s);
+    const bool set = f_set.eval(code);
+    const bool reset = f_reset.eval(code);
+    if (set && reset) return -2;  // conflict
+    if (set) return 1;
+    if (reset) return 0;
+    return -1;
+  };
+  {
+    const int fv = forced(init);
+    if (fv == -2) return fail("latch set and reset overlap in initial state");
+    if (fv == -1) return fail("latch value undefined in initial state");
+    value[static_cast<std::size_t>(init)] = static_cast<signed char>(fv);
+  }
+  std::vector<StateId> queue{init};
+  while (!queue.empty()) {
+    const StateId u = queue.back();
+    queue.pop_back();
+    for (const auto& edge : sg.succs(u)) {
+      const StateId v = edge.target;
+      int fv = forced(v);
+      if (fv == -2) return fail("latch set and reset overlap");
+      if (fv == -1) fv = value[static_cast<std::size_t>(u)];
+      if (value[static_cast<std::size_t>(v)] == -1) {
+        value[static_cast<std::size_t>(v)] = static_cast<signed char>(fv);
+        queue.push_back(v);
+      } else if (value[static_cast<std::size_t>(v)] != fv) {
+        return fail("latch value ambiguous (path-dependent)");
+      }
+    }
+  }
+  for (StateId s = 0; s < n; ++s)
+    if (value[static_cast<std::size_t>(s)] == 1) plan.s1.set(s);
+  return finish_plan(sg, std::move(plan), failure);
+}
+
+std::optional<InsertionPlan> plan_state_latch_insertion(
+    const StateGraph& sg, const DynBitset& set_states,
+    const DynBitset& reset_states, InsertionFailure* failure) {
+  auto fail = [&](std::string why) -> std::optional<InsertionPlan> {
+    if (failure) failure->why = std::move(why);
+    return std::nullopt;
+  };
+  if (!set_states.disjoint(reset_states))
+    return fail("latch set and reset state sets overlap");
+
+  InsertionPlan plan;
+  plan.f = Cover(sg.num_signals());
+  plan.f_reset = Cover(sg.num_signals());
+  plan.latch = true;
+  plan.s1 = sg.empty_set();
+
+  const auto n = static_cast<StateId>(sg.num_states());
+  std::vector<signed char> value(static_cast<std::size_t>(n), -1);
+  const StateId init = sg.initial();
+  auto forced = [&](StateId s) -> int {
+    if (set_states.test(static_cast<std::size_t>(s))) return 1;
+    if (reset_states.test(static_cast<std::size_t>(s))) return 0;
+    return -1;
+  };
+  {
+    // The initial value may be undetermined; propagating forward from the
+    // forced states fixes it when the cycle structure does (otherwise the
+    // backward pass below resolves or rejects).
+    int fv = forced(init);
+    if (fv == -1) fv = 0;  // provisional; re-checked by the consistency pass
+    value[static_cast<std::size_t>(init)] = static_cast<signed char>(fv);
+  }
+  std::vector<StateId> queue{init};
+  while (!queue.empty()) {
+    const StateId u = queue.back();
+    queue.pop_back();
+    for (const auto& edge : sg.succs(u)) {
+      const StateId v = edge.target;
+      int fv = forced(v);
+      if (fv == -1) fv = value[static_cast<std::size_t>(u)];
+      if (value[static_cast<std::size_t>(v)] == -1) {
+        value[static_cast<std::size_t>(v)] = static_cast<signed char>(fv);
+        queue.push_back(v);
+      } else if (value[static_cast<std::size_t>(v)] != fv) {
+        return fail("latch value ambiguous (path-dependent)");
+      }
+    }
+  }
+  for (StateId s = 0; s < n; ++s)
+    if (value[static_cast<std::size_t>(s)] == 1) plan.s1.set(s);
+  return finish_plan(sg, std::move(plan), failure);
+}
+
+StateGraph insert_signal(const StateGraph& sg, const InsertionPlan& plan,
+                         const std::string& name) {
+  StateGraph out;
+  for (const auto& sig : sg.signals()) out.add_signal(sig.name, sig.kind);
+  const int x = out.add_signal(name, SignalKind::kInternal);
+
+  // State copies: pre/post for states in the insertion regions, a single
+  // copy elsewhere.  pre_id/post_id hold new state ids per old state; for
+  // unsplit states both ids coincide.
+  const auto n = static_cast<StateId>(sg.num_states());
+  std::vector<StateId> id_x0(n, kNoState), id_x1(n, kNoState);
+
+  auto x_bit = [&](bool v) { return v ? (StateCode{1} << x) : StateCode{0}; };
+
+  for (StateId s = 0; s < n; ++s) {
+    const StateCode base = sg.code(s);
+    if (plan.er_rise.test(s) || plan.er_fall.test(s)) {
+      id_x0[s] = out.add_state(base | x_bit(false));
+      id_x1[s] = out.add_state(base | x_bit(true));
+    } else if (plan.s1.test(s)) {
+      id_x1[s] = out.add_state(base | x_bit(true));
+    } else {
+      id_x0[s] = out.add_state(base | x_bit(false));
+    }
+  }
+
+  // Transitions of the new signal.
+  plan.er_rise.for_each([&](std::size_t s) {
+    out.add_arc(id_x0[s], Event{x, true}, id_x1[s]);
+  });
+  plan.er_fall.for_each([&](std::size_t s) {
+    out.add_arc(id_x1[s], Event{x, false}, id_x0[s]);
+  });
+
+  // Original arcs: connect x-consistent copies.  Crossings between the two
+  // excitation regions must not skip the pending x transitions: on a
+  // ER(x+) -> ER(x-) arc only the (post,pre) = (x=1,x=1) copy survives, and
+  // symmetrically for ER(x-) -> ER(x+).
+  for (StateId u = 0; u < n; ++u) {
+    for (const auto& edge : sg.succs(u)) {
+      const StateId v = edge.target;
+      const bool skip_00 = plan.er_rise.test(u) && plan.er_fall.test(v);
+      const bool skip_11 = plan.er_fall.test(u) && plan.er_rise.test(v);
+      if (id_x0[u] != kNoState && id_x0[v] != kNoState && !skip_00)
+        out.add_arc(id_x0[u], edge.event, id_x0[v]);
+      if (id_x1[u] != kNoState && id_x1[v] != kNoState && !skip_11)
+        out.add_arc(id_x1[u], edge.event, id_x1[v]);
+    }
+  }
+
+  const StateId init = sg.initial();
+  out.set_initial(plan.initial_value ? id_x1[init] : id_x0[init]);
+  out.prune_unreachable();
+  return out;
+}
+
+PropertyResult verify_insertion(const StateGraph& before,
+                                const StateGraph& after, bool require_csc) {
+  if (auto r = check_consistency(after); !r) return r;
+  if (auto r = check_speed_independence(after); !r) return r;
+  if (require_csc) {
+    if (auto r = check_csc(after); !r) return r;
+  }
+
+  // SIP: every signal whose events were persistent before must stay
+  // persistent (inputs included; outputs are covered by the SI check).
+  for (int sig = 0; sig < before.num_signals(); ++sig) {
+    if (check_persistency(before, {sig})) {
+      if (auto r = check_persistency(after, {sig}); !r)
+        return PropertyResult::fail("SIP violated: " + r.why);
+    }
+  }
+  return PropertyResult::pass();
+}
+
+}  // namespace sitm

@@ -1,0 +1,93 @@
+#pragma once
+// Speed-independence-preserving signal insertion (paper Sections 2.3 / 3.2).
+//
+// Given a candidate divisor function f over the SG signals, the bipartition
+// {S0, S1} induced by f is refined into an I-partition {S0', S1', ER(x+),
+// ER(x-)} by growing the excitation regions of the new signal x from the
+// input borders IB(f+) / IB(f-):
+//
+//   1. start from ER(x+) = IB(f+);
+//   2. force well-formedness: add every S1-state that is a direct
+//      predecessor of an ER(x+) state;
+//   3. force the SIP property: close illegal state-diamond intersections
+//      (if three corners of a diamond lie in the region, add the fourth);
+//   4. preserve the input/output interface: an input event enabled inside
+//      ER(x+) must not be delayed, so its successor is pulled into the
+//      region; repeat from step 2.
+//
+// The procedure reaches the unique minimal fixed point or fails when forced
+// to include a state of the opposite block (then no legal insertion of x
+// with function f exists).  ER(x-) is grown symmetrically inside S0.
+//
+// `insert_signal` then splits every state of ER(x+) / ER(x-) into a
+// pre/post pair per the insertion scheme of Figure 3 and returns the new SG.
+
+#include <optional>
+#include <string>
+
+#include "boolf/cover.hpp"
+#include "sg/properties.hpp"
+#include "sg/state_graph.hpp"
+#include "util/dynbitset.hpp"
+
+namespace sitm {
+
+/// A valid I-partition for inserting a new signal.
+struct InsertionPlan {
+  Cover f;           ///< the (set) divisor function
+  Cover f_reset;     ///< reset condition; empty for combinational divisors
+  bool latch = false;  ///< sequential (set/reset latch) divisor
+  DynBitset s1;      ///< states where the new signal settles to 1
+  DynBitset er_rise; ///< ER(x+) (subset of s1)
+  DynBitset er_fall; ///< ER(x-) (subset of ~s1)
+  bool initial_value = false;  ///< x's value in the initial state
+};
+
+struct InsertionFailure {
+  std::string why;
+};
+
+/// Compute the I-partition for the combinational divisor `f` (S1 = states
+/// where f evaluates to 1); returns the failure reason if no legal
+/// speed-independence-preserving insertion exists.
+std::optional<InsertionPlan> plan_insertion(const StateGraph& sg,
+                                            const Cover& f,
+                                            InsertionFailure* failure = nullptr);
+
+/// Compute the I-partition for a sequential (latch) divisor: the new signal
+/// behaves like an SR latch, set when `f_set` holds and reset when `f_reset`
+/// holds; elsewhere it keeps its value.  S1 is obtained by propagating this
+/// latch semantics over the SG; fails when set/reset overlap on a reachable
+/// state or the propagated value is ambiguous.  This realizes the paper's
+/// "very general sequential decomposition" (Section 5) — e.g. a 3-input
+/// C element decomposes as C(C(a,b), c) via f_set = a*b, f_reset = a'*b'.
+std::optional<InsertionPlan> plan_latch_insertion(
+    const StateGraph& sg, const Cover& f_set, const Cover& f_reset,
+    InsertionFailure* failure = nullptr);
+
+/// State-set variant of the latch planner: the new signal is forced to 1 on
+/// `set_states`, to 0 on `reset_states`, and inherits its value elsewhere.
+/// Unlike the cover-based planners this can separate states sharing the same
+/// binary code, which is what Complete State Coding resolution needs (the
+/// insertion machinery is shared with decomposition, paper Section 2.3).
+std::optional<InsertionPlan> plan_state_latch_insertion(
+    const StateGraph& sg, const DynBitset& set_states,
+    const DynBitset& reset_states, InsertionFailure* failure = nullptr);
+
+/// Insert a new internal signal named `name` according to `plan`.
+/// The result is verified for consistency by construction; behavioural
+/// properties (speed-independence, CSC, SIP-ness) should be re-checked by
+/// the caller via `verify_insertion`.
+StateGraph insert_signal(const StateGraph& sg, const InsertionPlan& plan,
+                         const std::string& name);
+
+/// Full post-insertion check: the new SG must be deterministic, commutative,
+/// output-persistent (including x), satisfy CSC, and every signal persistent
+/// in the old SG must remain persistent (the SIP condition).  Pass
+/// `require_csc = false` while resolving CSC conflicts (the input SG itself
+/// violates CSC and intermediate steps may still).
+PropertyResult verify_insertion(const StateGraph& before,
+                                const StateGraph& after,
+                                bool require_csc = true);
+
+}  // namespace sitm

@@ -1,0 +1,250 @@
+#include "core/mapper.hpp"
+
+#include <algorithm>
+
+#include "core/progress.hpp"
+#include "mlogic/division.hpp"
+#include "sg/properties.hpp"
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sitm {
+
+namespace {
+
+/// Is the planned signal identical (over reachable states) to an existing
+/// signal or its complement?  Such an insertion adds a redundant wire.
+bool duplicates_signal(const StateGraph& sg, const DynBitset& s1) {
+  const DynBitset reachable = sg.reachable();
+  for (int sig = 0; sig < sg.num_signals(); ++sig) {
+    bool same = true, inverse = true;
+    reachable.for_each([&](std::size_t s) {
+      if (!same && !inverse) return;
+      const bool fv = s1.test(s);
+      const bool sv = sg.value(static_cast<StateId>(s), sig);
+      if (fv != sv) same = false;
+      if (fv == sv) inverse = false;
+    });
+    if (same || inverse) return true;
+  }
+  return false;
+}
+
+/// The sequential partner of a divisor: the cube of complemented literals
+/// (e.g. a*b -> a'*b'; a+b -> a'*b').  A latch set by f and reset by this
+/// partner realizes a Muller-C-style sub-element.  Returns an empty cover
+/// when f uses some variable in both polarities.
+Cover latch_reset_partner(const Cover& f) {
+  Cube partner = Cube::one();
+  for (const auto& cube : f.cubes()) {
+    for (int v = 0; v < f.num_vars(); ++v) {
+      if (!cube.has_literal(v)) continue;
+      const bool want = !cube.polarity(v);
+      if (partner.has_literal(v) && partner.polarity(v) != want)
+        return Cover(f.num_vars());
+      partner = partner.with_literal(v, want);
+    }
+  }
+  if (partner.is_one()) return Cover(f.num_vars());
+  return Cover(f.num_vars(), {partner});
+}
+
+MapMetrics metrics_of(const std::vector<SignalSynthesis>& syntheses,
+                      const GateLibrary& library) {
+  MapMetrics m;
+  for (const auto& s : syntheses) {
+    const int gates[2] = {s.combinational ? s.complete_complexity
+                                          : s.set.complexity,
+                          s.combinational ? -1 : s.reset.complexity};
+    for (int c : gates) {
+      if (c < 0) continue;
+      if (!library.fits(c)) ++m.gates_over_library;
+      m.max_complexity = std::max(m.max_complexity, c);
+      m.total_literals += c;
+    }
+  }
+  return m;
+}
+
+/// Fresh internal signal name.
+std::string fresh_name(const StateGraph& sg, int counter) {
+  while (true) {
+    std::string name = "x" + std::to_string(counter);
+    if (sg.find_signal(name) < 0) return name;
+    ++counter;
+  }
+}
+
+struct Candidate {
+  Cover f;
+  Cover quotient, remainder;
+  InsertionPlan plan;
+  ProgressEstimate estimate;
+};
+
+}  // namespace
+
+Netlist MapResult::build_netlist(const McOptions& mc) const {
+  if (!sg) throw Error("MapResult: no state graph");
+  return synthesize_all(*sg, mc);
+}
+
+MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
+  MapResult result;
+  result.sg = std::make_shared<StateGraph>(input);
+  result.sg->prune_unreachable();
+
+  if (auto r = check_implementability(*result.sg); !r)
+    throw Error("technology_map: input SG not implementable: " + r.why);
+
+  int name_counter = 0;
+
+  while (true) {
+    StateGraph& sg = *result.sg;
+    result.syntheses.clear();
+    synthesize_all(sg, opts.mc, &result.syntheses);
+
+    // Collect event covers whose signal implementation exceeds the library.
+    struct Target {
+      const SignalSynthesis* synth;
+      const EventCover* cover;
+    };
+    std::vector<Target> targets;
+    for (const auto& synth : result.syntheses) {
+      if (opts.library.fits(synth.complexity)) continue;
+      targets.push_back(Target{&synth, &synth.set});
+      targets.push_back(Target{&synth, &synth.reset});
+    }
+    if (targets.empty()) {
+      result.implementable = true;
+      return result;
+    }
+    if (result.signals_inserted >= opts.max_insertions) {
+      result.failure = "insertion limit reached";
+      return result;
+    }
+
+    // Most complex covers first (the paper's target selection).
+    std::stable_sort(targets.begin(), targets.end(),
+                     [](const Target& a, const Target& b) {
+                       return a.cover->complexity > b.cover->complexity;
+                     });
+
+    bool committed = false;
+    const MapMetrics current_metrics =
+        metrics_of(result.syntheses, opts.library);
+
+    int tried_targets = 0;
+    for (const auto& target : targets) {
+      if (tried_targets++ >= opts.max_target_events) break;
+      // Gates already implementable do not need decomposition.
+      if (opts.library.fits(target.cover->complexity)) continue;
+
+      // ---- candidate generation -------------------------------------
+      std::vector<Candidate> candidates;
+      auto consider = [&](const Cover& f, std::optional<InsertionPlan> plan,
+                          const Division& div) {
+        if (!plan) return;
+        if (duplicates_signal(sg, plan->s1)) return;
+        ProgressEstimate est =
+            estimate_progress(sg, result.syntheses, *target.cover,
+                              div.quotient, div.remainder, *plan);
+        if (!opts.global_acknowledgement && est.new_triggers > 0) return;
+        ++result.candidates_planned;
+        candidates.push_back(
+            Candidate{f, div.quotient, div.remainder, std::move(*plan), est});
+      };
+      for (Cover& f : generate_divisors(target.cover->cover, opts.divisors)) {
+        Division div = algebraic_division(target.cover->cover, f);
+        if (div.quotient.empty()) continue;  // not an algebraic divisor
+        // Combinational divisor: the new signal is a delayed copy of f.
+        consider(f, plan_insertion(sg, f), div);
+        // Sequential divisor: an SR sub-latch set by f and reset by the
+        // complement-literal partner cube (C-element decomposition).
+        const Cover partner = latch_reset_partner(f);
+        if (!partner.empty())
+          consider(f, plan_latch_insertion(sg, f, partner), div);
+      }
+      // Properties 3.1 / 3.2 rank the candidates (safe substitutions and
+      // bounded impact on other covers first); the exact accept/reject
+      // decision is the resynthesis below.
+      if (opts.use_progress_filters) {
+        auto key = [](const Candidate& c) {
+          return std::make_tuple(c.estimate.target_ok ? 0 : 1,
+                                 c.estimate.others_ok ? 0 : 1,
+                                 c.estimate.estimated_delta);
+        };
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [&](const Candidate& a, const Candidate& b) {
+                           return key(a) < key(b);
+                         });
+      }
+
+      // ---- full evaluation (resynthesis from scratch) ------------------
+      struct Evaluated {
+        StateGraph sg;
+        std::vector<SignalSynthesis> syntheses;
+        const Candidate* candidate;
+        MapMetrics metrics;
+        std::size_t states;
+      };
+      std::optional<Evaluated> best;
+      const std::string name = fresh_name(sg, name_counter);
+
+      int evals = 0;
+      for (const auto& cand : candidates) {
+        if (evals >= opts.max_full_evals) break;
+        StateGraph next = insert_signal(sg, cand.plan, name);
+        if (!verify_insertion(sg, next)) continue;
+        ++evals;
+        ++result.resyntheses;
+
+        std::vector<SignalSynthesis> next_syntheses;
+        synthesize_all(next, opts.mc, &next_syntheses);
+
+        // Progress requirement: the global cost tuple strictly decreases.
+        // This is the termination measure of the whole loop — temporary
+        // growth of one cover (the acknowledgement literal of Property 3.2)
+        // is fine as long as fewer gates exceed the library.
+        const MapMetrics m = metrics_of(next_syntheses, opts.library);
+        if (!(m < current_metrics)) continue;
+
+        Evaluated ev{std::move(next), std::move(next_syntheses), &cand, m, 0};
+        ev.states = ev.sg.num_states();
+        auto key = [](const Evaluated& e) {
+          return std::make_tuple(e.metrics.tuple(), e.states);
+        };
+        if (!best || key(ev) < key(*best)) best = std::move(ev);
+      }
+
+      if (best) {
+        MapStep step;
+        step.new_signal = name;
+        step.divisor = best->candidate->plan.f;
+        step.divisor_reset = best->candidate->plan.f_reset;
+        step.latch = best->candidate->plan.latch;
+        step.target_signal = target.synth->signal;
+        step.target_event = target.cover->event;
+        step.states_before = sg.num_states();
+        step.states_after = best->sg.num_states();
+        step.before = current_metrics;
+        step.after = best->metrics;
+        result.steps.push_back(std::move(step));
+
+        result.sg = std::make_shared<StateGraph>(std::move(best->sg));
+        ++result.signals_inserted;
+        ++name_counter;
+        committed = true;
+        break;
+      }
+    }
+
+    if (!committed) {
+      result.failure = "no divisor makes progress (n.i.)";
+      // Leave the best-effort syntheses in the result for inspection.
+      return result;
+    }
+  }
+}
+
+}  // namespace sitm

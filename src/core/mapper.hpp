@@ -1,0 +1,104 @@
+#pragma once
+// The technology mapping loop (paper Section 3).
+//
+//   while the circuit is not implementable in the library:
+//     pick the event a* with the most complex monotonous cover;
+//     enumerate divisors of c(a*) (kernels, co-kernels, AND/OR subsets);
+//     for each divisor f: plan a SIP insertion of a new signal x = f,
+//       filter by Properties 3.1 / 3.2 (progress analysis on the old SG);
+//     fully resynthesize the most promising candidates (boolean division /
+//       resynthesis: every cover is recomputed from scratch on the new SG,
+//       which realizes the paper's global acknowledgement automatically);
+//     commit the candidate with the best global progress, or give up (n.i.).
+//
+// The paper's tuning knobs (try other events when the worst one is stuck,
+// cap the number of candidates, local-vs-global acknowledgement for the
+// ablation study) are exposed through MapperOptions.
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/gate_library.hpp"
+#include "core/insertion.hpp"
+#include "core/mc_cover.hpp"
+#include "mlogic/divisors.hpp"
+#include "netlist/netlist.hpp"
+#include "sg/state_graph.hpp"
+
+namespace sitm {
+
+struct MapperOptions {
+  GateLibrary library{2};
+  McOptions mc;
+  DivisorOptions divisors;
+  /// Apply Properties 3.1/3.2 as candidate filters before resynthesis.
+  bool use_progress_filters = true;
+  /// Allow transitions of the new signal to be acknowledged by covers other
+  /// than the target (the paper's key improvement over [12, 4]).  When
+  /// false, candidates creating any new trigger on another cover are
+  /// discarded — the "local acknowledgement" baseline of the ablation.
+  bool global_acknowledgement = true;
+  /// Safety cap on inserted signals.
+  int max_insertions = 48;
+  /// How many of the most complex events are tried per iteration before
+  /// declaring failure.
+  int max_target_events = 4;
+  /// How many filtered candidates are fully resynthesized per target.
+  int max_full_evals = 12;
+};
+
+/// Global cost of a synthesis state: number of gates exceeding the library,
+/// worst gate complexity, total literals.  The mapper accepts an insertion
+/// only if this tuple strictly decreases lexicographically, which makes the
+/// loop terminate (the order is well-founded).
+struct MapMetrics {
+  int gates_over_library = 0;
+  int max_complexity = 0;
+  int total_literals = 0;
+
+  auto tuple() const {
+    return std::make_tuple(gates_over_library, max_complexity, total_literals);
+  }
+  bool operator<(const MapMetrics& o) const { return tuple() < o.tuple(); }
+  bool operator==(const MapMetrics& o) const { return tuple() == o.tuple(); }
+};
+
+/// One committed decomposition step, for reporting.
+struct MapStep {
+  std::string new_signal;
+  Cover divisor;              ///< (set) function of the inserted signal
+  Cover divisor_reset;        ///< reset partner for latch insertions
+  bool latch = false;         ///< sequential (SR latch) insertion
+  int target_signal = -1;
+  Event target_event;
+  std::size_t states_before = 0, states_after = 0;
+  MapMetrics before, after;   ///< global cost before/after the insertion
+};
+
+/// Result of technology mapping.
+struct MapResult {
+  bool implementable = false;
+  std::string failure;        ///< reason when not implementable
+  int signals_inserted = 0;
+  /// Search statistics: divisor candidates with a legal insertion plan, and
+  /// how many were fully resynthesized (the expensive step the Property
+  /// 3.1/3.2 ranking is meant to save).
+  long candidates_planned = 0;
+  long resyntheses = 0;
+  /// Final SG (with the inserted signals) and its synthesis.
+  std::shared_ptr<StateGraph> sg;
+  std::vector<SignalSynthesis> syntheses;
+  std::vector<MapStep> steps;
+
+  /// Standard-C netlist of the final SG.  The returned netlist references
+  /// *sg; keep this MapResult alive while using it.
+  Netlist build_netlist(const McOptions& mc = {}) const;
+};
+
+/// Map `sg` onto the library in `opts`.  The input SG must satisfy the flow
+/// preconditions (consistency, speed-independence, CSC); throws otherwise.
+MapResult technology_map(const StateGraph& sg, const MapperOptions& opts = {});
+
+}  // namespace sitm

@@ -1,0 +1,145 @@
+#include "core/mc_cover.hpp"
+
+#include <algorithm>
+
+#include "boolf/minimize.hpp"
+#include "util/error.hpp"
+
+namespace sitm {
+
+namespace {
+
+std::vector<std::uint64_t> codes_of(const StateGraph& sg, const DynBitset& set) {
+  std::vector<std::uint64_t> out;
+  out.reserve(set.count());
+  set.for_each([&](std::size_t s) {
+    out.push_back(sg.code(static_cast<StateId>(s)));
+  });
+  return out;
+}
+
+/// Monotonicity violations (MC condition 3): a 0->1 change of `cover` along
+/// an arc that stays within ERj u QRj of some region.  Returns the states to
+/// force into the off-set.
+DynBitset monotonicity_violations(const StateGraph& sg, const Cover& cover,
+                                  const std::vector<Region>& regions) {
+  DynBitset bad(sg.num_states());
+  for (const auto& region : regions) {
+    DynBitset zone = region.er | region.qr;
+    zone.for_each([&](std::size_t u) {
+      if (cover.eval(sg.code(static_cast<StateId>(u)))) return;
+      for (const auto& edge : sg.succs(static_cast<StateId>(u))) {
+        if (!zone.test(edge.target)) continue;
+        if (cover.eval(sg.code(edge.target))) bad.set(edge.target);
+      }
+    });
+  }
+  return bad;
+}
+
+}  // namespace
+
+EventCover monotonous_cover(const StateGraph& sg, Event e,
+                            const McOptions& opts) {
+  EventCover out;
+  out.event = e;
+  out.regions = excitation_regions(sg, e);
+
+  out.on = union_er(sg, out.regions);
+  out.dc = union_qr(sg, out.regions);
+  const DynBitset reachable = sg.reachable();
+  out.off = reachable - out.on - out.dc;
+
+  const MinimizeOptions mopts{opts.minimize_passes};
+  const auto on_codes = codes_of(sg, out.on);
+
+  // Repair loop: enforce condition 3 by moving rising quiescent states to
+  // the off-set and re-minimizing.  Terminates because each round shrinks
+  // the don't-care set.
+  while (true) {
+    out.cover = minimize_onoff(on_codes, codes_of(sg, out.off),
+                               sg.num_signals(), mopts);
+    const DynBitset bad = monotonicity_violations(sg, out.cover, out.regions);
+    if (bad.none()) break;
+    out.off |= bad;
+    out.dc -= bad;
+  }
+
+  // Complemented form (for the min-literal gate measure), minimized with the
+  // final don't-care space: ON and OFF swap roles.
+  out.complement = minimize_onoff(codes_of(sg, out.off), on_codes,
+                                  sg.num_signals(), mopts);
+  out.complexity = std::min(out.cover.num_literals(),
+                            out.complement.num_literals());
+  return out;
+}
+
+Cover complete_cover(const StateGraph& sg, int sig, int* complexity,
+                     const McOptions& opts) {
+  std::vector<std::uint64_t> on, off;
+  const DynBitset reachable = sg.reachable();
+  reachable.for_each([&](std::size_t s) {
+    const auto id = static_cast<StateId>(s);
+    (next_value(sg, id, sig) ? on : off).push_back(sg.code(id));
+  });
+  const MinimizeOptions mopts{opts.minimize_passes};
+  const Cover direct = minimize_onoff(on, off, sg.num_signals(), mopts);
+  const Cover inverse = minimize_onoff(off, on, sg.num_signals(), mopts);
+  if (complexity)
+    *complexity = std::min(direct.num_literals(), inverse.num_literals());
+  return direct;
+}
+
+SignalSynthesis synthesize_signal(const StateGraph& sg, int sig,
+                                  const McOptions& opts) {
+  if (sg.signal(sig).kind == SignalKind::kInput)
+    throw Error("synthesize_signal: input signal " + sg.signal(sig).name);
+
+  SignalSynthesis out;
+  out.signal = sig;
+  out.set = monotonous_cover(sg, Event{sig, true}, opts);
+  out.reset = monotonous_cover(sg, Event{sig, false}, opts);
+  out.complete = complete_cover(sg, sig, &out.complete_complexity, opts);
+
+  const int seq = std::max(out.set.complexity, out.reset.complexity);
+  switch (opts.architecture) {
+    case Architecture::kAuto:
+      out.combinational = out.complete_complexity <= seq;
+      break;
+    case Architecture::kStandardC:
+      out.combinational = false;
+      break;
+    case Architecture::kComplexGate:
+      out.combinational = true;
+      break;
+  }
+  out.complexity = out.combinational ? out.complete_complexity : seq;
+  return out;
+}
+
+Netlist synthesize_all(const StateGraph& sg, const McOptions& opts,
+                       std::vector<SignalSynthesis>* out_syntheses) {
+  Netlist netlist(&sg);
+  if (out_syntheses) out_syntheses->clear();
+  for (int sig : sg.noninput_signals()) {
+    SignalSynthesis synth = synthesize_signal(sg, sig, opts);
+    SignalImpl impl;
+    impl.signal = sig;
+    impl.combinational = synth.combinational;
+    impl.complexity = synth.complexity;
+    if (synth.combinational) {
+      impl.set = synth.complete;
+      impl.set_complexity = synth.complete_complexity;
+    } else {
+      impl.set = synth.set.cover;
+      impl.reset = synth.reset.cover;
+      impl.set_complexity = synth.set.complexity;
+      impl.reset_complexity = synth.reset.complexity;
+    }
+    netlist.add_impl(std::move(impl));
+    if (out_syntheses) out_syntheses->push_back(std::move(synth));
+  }
+  return netlist;
+}
+
+}  // namespace sitm

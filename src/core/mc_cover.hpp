@@ -1,0 +1,85 @@
+#pragma once
+// Monotonous cover synthesis (paper Section 2.2).
+//
+// For every transition a* of a non-input signal we derive a cover function
+// c(a*) satisfying the Monotonous Cover conditions:
+//   1. c(a*) evaluates to 1 on every state of every ERj(a*);
+//   2. c(a*) evaluates to 0 outside U_j (ERj(a*) u QRj(a*));
+//   3. within each QRj(a*) the cover changes at most once (it may fall
+//      from 1 to 0 but never rises back).
+// Unreachable codes are free don't-cares.  Condition 3 is enforced by a
+// repair loop that moves offending quiescent states into the off-set and
+// re-minimizes.
+//
+// A signal is implemented combinationally (complete cover, C element
+// degenerates into a wire) when the minimized next-state function is not
+// more complex than the worse of the set/reset gates; otherwise the
+// standard-C architecture with set/reset networks is used.
+
+#include <vector>
+
+#include "boolf/cover.hpp"
+#include "netlist/netlist.hpp"
+#include "sg/regions.hpp"
+#include "sg/state_graph.hpp"
+
+namespace sitm {
+
+/// Cover of one event (the whole set or reset network of a signal).
+struct EventCover {
+  Event event;
+  std::vector<Region> regions;  ///< ERs/QRs of the event
+  Cover cover;                  ///< minimized monotonous cover
+  Cover complement;             ///< minimized cover of the OFF condition
+  DynBitset on, dc, off;        ///< state sets used for minimization
+  int complexity = 0;           ///< min(lit(cover), lit(complement))
+};
+
+/// Full synthesis result for one signal.
+struct SignalSynthesis {
+  int signal = -1;
+  bool combinational = false;
+  EventCover set;        ///< a+ cover; the complete cover when combinational
+  EventCover reset;      ///< a- cover (empty when combinational)
+  Cover complete;        ///< minimized next-state function
+  int complete_complexity = 0;
+  /// Worst gate complexity of the chosen implementation.
+  int complexity = 0;
+};
+
+/// Implementation architecture policy per signal.
+enum class Architecture {
+  /// Choose per signal: combinational (complete cover) when it is not more
+  /// complex than the worst set/reset gate, standard-C otherwise.
+  kAuto,
+  /// Always a C element with set/reset networks (Figure 2a).
+  kStandardC,
+  /// Always the complete cover as one atomic complex gate (Figure 2b/c).
+  kComplexGate,
+};
+
+struct McOptions {
+  /// Extra minimizer refinement passes.
+  int minimize_passes = 1;
+  Architecture architecture = Architecture::kAuto;
+};
+
+/// Monotonous cover for one event.  Throws sitm::Error if the SG violates
+/// the flow preconditions (e.g. CSC).
+EventCover monotonous_cover(const StateGraph& sg, Event e,
+                            const McOptions& opts = {});
+
+/// Complete (next-state) cover of a signal plus its complexity.
+Cover complete_cover(const StateGraph& sg, int sig, int* complexity,
+                     const McOptions& opts = {});
+
+/// Synthesize one signal (choosing combinational vs standard-C).
+SignalSynthesis synthesize_signal(const StateGraph& sg, int sig,
+                                  const McOptions& opts = {});
+
+/// Synthesize every non-input signal into a standard-C netlist.
+/// `out_syntheses` (optional) receives the per-signal details.
+Netlist synthesize_all(const StateGraph& sg, const McOptions& opts = {},
+                       std::vector<SignalSynthesis>* out_syntheses = nullptr);
+
+}  // namespace sitm

@@ -1,0 +1,42 @@
+#pragma once
+// Algebraic (weak) division and kernel extraction — the classical multi-level
+// machinery (Brayton et al., "Multilevel logic synthesis") the paper reuses
+// to propose decomposition candidates.
+
+#include <vector>
+
+#include "boolf/cover.hpp"
+
+namespace sitm {
+
+/// Result of dividing F by D: F = D*quotient + remainder (algebraically).
+struct Division {
+  Cover quotient;
+  Cover remainder;
+};
+
+/// Algebraic division of `f` by divisor `d` (multi-cube allowed).
+/// Returns an empty quotient when `d` does not divide any part of `f`.
+Division algebraic_division(const Cover& f, const Cover& d);
+
+/// Algebraic division by a single cube.
+Division cube_division(const Cover& f, const Cube& d);
+
+/// Largest cube dividing every cube of `f` (the common cube); the universal
+/// cube if `f` is cube-free or empty.
+Cube common_cube(const Cover& f);
+
+/// Is `f` cube-free (no literal common to all cubes, more than one cube)?
+bool cube_free(const Cover& f);
+
+/// A kernel with its co-kernel.
+struct Kernel {
+  Cover kernel;
+  Cube cokernel;
+};
+
+/// All kernels of `f` (level-0 and higher), including `f` itself if it is
+/// cube-free.  Standard recursive co-kernel enumeration.
+std::vector<Kernel> all_kernels(const Cover& f);
+
+}  // namespace sitm

@@ -1,0 +1,35 @@
+#pragma once
+// Divisor candidate generation (paper Section 3.1).
+//
+// For a monotonous cover c(a*) the paper proposes, as candidate functions f
+// for a new decomposition signal:
+//   * kernels and co-kernels of c(a*);
+//   * OR-decompositions: any subset of terms of the SOP (poly-term covers);
+//   * AND-decompositions: any subset of literals of a cube;
+//   * recursive decompositions of the above (sub-kernels, AND/OR of kernels),
+// heuristically pruned to avoid candidate explosion.
+
+#include <vector>
+
+#include "boolf/cover.hpp"
+#include "mlogic/division.hpp"
+
+namespace sitm {
+
+struct DivisorOptions {
+  /// Upper bound on emitted candidates (best-first by literal count).
+  std::size_t max_candidates = 128;
+  /// Max subset enumeration width: subsets are enumerated exhaustively only
+  /// when a cube/cover has at most this many literals/terms.
+  int max_subset_width = 6;
+  /// Also emit recursive decompositions of kernels.
+  bool recursive = true;
+};
+
+/// Candidate divisors for `cover`, deduplicated, sorted by ascending literal
+/// count (cheap gates first), trivial (single-literal / full-cover)
+/// candidates excluded.
+std::vector<Cover> generate_divisors(const Cover& cover,
+                                     const DivisorOptions& opts = {});
+
+}  // namespace sitm

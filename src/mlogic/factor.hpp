@@ -1,0 +1,44 @@
+#pragma once
+// Factored forms: recursive algebraic factoring (SIS quick_factor style).
+//
+// Factoring rewrites a SOP as a tree of sums and products, e.g.
+// ab + ac + db + dc  ->  (a + d)(b + c).  The factored literal count is the
+// usual multi-level area estimate; the mapper's published complexity measure
+// stays the SOP one (see netlist/gate_complexity), factoring is provided for
+// analysis and for the netlist writers.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "boolf/cover.hpp"
+
+namespace sitm {
+
+/// Node of a factored expression tree.
+struct FactoredForm {
+  enum class Kind { kLiteral, kAnd, kOr, kZero, kOne };
+  Kind kind = Kind::kZero;
+  int var = -1;          ///< kLiteral
+  bool positive = true;  ///< kLiteral
+  std::vector<std::unique_ptr<FactoredForm>> children;  ///< kAnd / kOr
+
+  static std::unique_ptr<FactoredForm> literal(int var, bool positive);
+  static std::unique_ptr<FactoredForm> constant(bool one);
+
+  int num_literals() const;
+  /// Evaluate on a full assignment.
+  bool eval(std::uint64_t code) const;
+  /// Render with names, e.g. "(a + d) (b + c)".
+  std::string to_string(const std::vector<std::string>& names) const;
+};
+
+/// Recursive algebraic factoring: divide by the best kernel (or literal)
+/// until no multi-cube divisor remains.  The result is logically equivalent
+/// to `f` and never has more literals than the SOP.
+std::unique_ptr<FactoredForm> quick_factor(const Cover& f);
+
+/// Literal count of the factored form of `f`.
+int factored_literals(const Cover& f);
+
+}  // namespace sitm

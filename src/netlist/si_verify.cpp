@@ -1,0 +1,187 @@
+#include "netlist/si_verify.hpp"
+
+#include <map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sitm {
+
+namespace {
+
+/// One delay element of the closed system.
+struct Element {
+  enum class Kind { kInput, kSetNet, kResetNet, kCOut, kCombOut } kind;
+  int signal = -1;      ///< SG signal (all kinds except pure nets use it)
+  int impl_index = -1;  ///< index into netlist.impls() for net/output kinds
+};
+
+struct Composite {
+  StateId q;            ///< specification state
+  std::uint64_t nets;   ///< bit 2*i = set-net value, 2*i+1 = reset-net value
+                        ///< of sequential impl i
+  bool operator<(const Composite& o) const {
+    return q != o.q ? q < o.q : nets < o.nets;
+  }
+};
+
+}  // namespace
+
+SiVerifyResult verify_speed_independence(const Netlist& netlist,
+                                         std::size_t max_states) {
+  const StateGraph& sg = netlist.sg();
+  const auto& impls = netlist.impls();
+
+  // Every non-input signal must have an implementation.
+  for (int s : sg.noninput_signals())
+    if (!netlist.impl_of(s))
+      return SiVerifyResult{false,
+                            "signal " + sg.signal(s).name + " unimplemented",
+                            0};
+  if (impls.size() > 32) throw Error("si_verify: more than 32 implementations");
+
+  // Element universe.
+  std::vector<Element> elements;
+  for (int s : sg.input_signals())
+    elements.push_back(Element{Element::Kind::kInput, s, -1});
+  for (std::size_t i = 0; i < impls.size(); ++i) {
+    if (impls[i].combinational) {
+      elements.push_back(
+          Element{Element::Kind::kCombOut, impls[i].signal, static_cast<int>(i)});
+    } else {
+      elements.push_back(
+          Element{Element::Kind::kSetNet, impls[i].signal, static_cast<int>(i)});
+      elements.push_back(Element{Element::Kind::kResetNet, impls[i].signal,
+                                 static_cast<int>(i)});
+      elements.push_back(
+          Element{Element::Kind::kCOut, impls[i].signal, static_cast<int>(i)});
+    }
+  }
+
+  auto net_bit = [](int impl_index, bool reset) {
+    return std::uint64_t{1} << (2 * impl_index + (reset ? 1 : 0));
+  };
+
+  // Excitation of an element in a composite state.  For inputs the possible
+  // transitions are given by the specification.
+  auto excited = [&](const Element& e, const Composite& c) -> bool {
+    const StateCode code = sg.code(c.q);
+    switch (e.kind) {
+      case Element::Kind::kInput:
+        return sg.enabled(c.q, Event{e.signal, true}) ||
+               sg.enabled(c.q, Event{e.signal, false});
+      case Element::Kind::kSetNet: {
+        const bool now = (c.nets & net_bit(e.impl_index, false)) != 0;
+        return impls[e.impl_index].set.eval(code) != now;
+      }
+      case Element::Kind::kResetNet: {
+        const bool now = (c.nets & net_bit(e.impl_index, true)) != 0;
+        return impls[e.impl_index].reset.eval(code) != now;
+      }
+      case Element::Kind::kCOut: {
+        // Muller C element out = C(S, ~R): rises when S=1,R=0; falls when
+        // S=0,R=1; holds otherwise (S=R=1 transients are legal holds).
+        const bool set = (c.nets & net_bit(e.impl_index, false)) != 0;
+        const bool reset = (c.nets & net_bit(e.impl_index, true)) != 0;
+        const bool value = sg.value(c.q, e.signal);
+        return (set && !reset && !value) || (reset && !set && value);
+      }
+      case Element::Kind::kCombOut:
+        return impls[e.impl_index].set.eval(code) != sg.value(c.q, e.signal);
+    }
+    return false;
+  };
+
+  SiVerifyResult result;
+  std::map<Composite, int> seen;
+
+  // Initial composite state: spec initial state, S/R nets settled.
+  Composite init{sg.initial(), 0};
+  {
+    const StateCode code = sg.code(init.q);
+    for (std::size_t i = 0; i < impls.size(); ++i) {
+      if (impls[i].combinational) continue;
+      if (impls[i].set.eval(code)) init.nets |= net_bit(static_cast<int>(i), false);
+      if (impls[i].reset.eval(code)) init.nets |= net_bit(static_cast<int>(i), true);
+    }
+  }
+
+  std::vector<Composite> queue{init};
+  seen.emplace(init, 0);
+
+  auto fail = [&](std::string why) {
+    result.ok = false;
+    result.why = std::move(why);
+  };
+
+  while (!queue.empty() && result.ok) {
+    const Composite c = queue.back();
+    queue.pop_back();
+    ++result.num_states;
+
+    // Successors: fire every excited element in turn.
+    std::vector<std::pair<const Element*, Composite>> successors;
+    for (const auto& e : elements) {
+      if (!excited(e, c)) continue;
+      switch (e.kind) {
+        case Element::Kind::kInput: {
+          for (bool rising : {true, false}) {
+            const StateId q2 = sg.successor(c.q, Event{e.signal, rising});
+            if (q2 != kNoState)
+              successors.push_back({&e, Composite{q2, c.nets}});
+          }
+          break;
+        }
+        case Element::Kind::kSetNet:
+        case Element::Kind::kResetNet: {
+          Composite n = c;
+          n.nets ^= net_bit(e.impl_index, e.kind == Element::Kind::kResetNet);
+          successors.push_back({&e, n});
+          break;
+        }
+        case Element::Kind::kCOut:
+        case Element::Kind::kCombOut: {
+          const bool rising = !sg.value(c.q, e.signal);
+          const StateId q2 = sg.successor(c.q, Event{e.signal, rising});
+          if (q2 == kNoState) {
+            fail(strfmt("circuit fires %s not allowed by the specification "
+                        "in state %s",
+                        event_name(sg.signal(e.signal).name, rising).c_str(),
+                        sg.code_string(c.q).c_str()));
+            break;
+          }
+          successors.push_back({&e, Composite{q2, c.nets}});
+          break;
+        }
+      }
+      if (!result.ok) break;
+    }
+    if (!result.ok) break;
+
+    // Semi-modularity: firing one element must not dis-excite another
+    // non-input element.
+    for (const auto& [fired, next] : successors) {
+      for (const auto& e : elements) {
+        if (&e == fired || e.kind == Element::Kind::kInput) continue;
+        if (excited(e, c) && !excited(e, next)) {
+          fail(strfmt("gate for signal %s dis-excited (hazard) when %s fires",
+                      sg.signal(e.signal).name.c_str(),
+                      sg.signal(fired->signal).name.c_str()));
+          break;
+        }
+      }
+      if (!result.ok) break;
+      auto [it, inserted] = seen.emplace(next, 0);
+      if (inserted) {
+        if (seen.size() > max_states)
+          throw Error("si_verify: composite state explosion");
+        queue.push_back(next);
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace sitm

@@ -1,0 +1,76 @@
+#include "netlist/tech_decomp.hpp"
+
+#include <algorithm>
+
+namespace sitm {
+
+int tech_decomp2_literals(const Cover& sop) {
+  const int lits = sop.num_literals();
+  if (lits <= 1) return lits;  // wire / single literal: free
+  // Balanced trees: sum(2*(k_i - 1)) AND literals + 2*(t-1) OR literals
+  // = 2*(total_literals - 1).
+  return 2 * (lits - 1);
+}
+
+namespace {
+
+/// Emit a balanced 2-input tree combining `terms` with operator `op`;
+/// returns the name of the root net.
+std::string emit_tree(std::vector<std::string> terms, SimpleGate::Op op,
+                      const std::string& prefix, int* counter,
+                      std::vector<SimpleGate>& gates) {
+  while (terms.size() > 1) {
+    std::vector<std::string> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      std::string out = prefix + std::to_string((*counter)++);
+      gates.push_back(SimpleGate{op, out, terms[i], terms[i + 1]});
+      next.push_back(std::move(out));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.empty() ? std::string{} : terms[0];
+}
+
+}  // namespace
+
+TechDecompResult tech_decomp2(const Netlist& netlist) {
+  TechDecompResult out;
+  const auto& sg = netlist.sg();
+  std::vector<std::string> names;
+  for (const auto& sig : sg.signals()) names.push_back(sig.name);
+
+  int counter = 0;
+  auto decompose_sop = [&](const Cover& sop, const std::string& root) {
+    std::vector<std::string> cube_nets;
+    for (const auto& cube : sop.cubes()) {
+      std::vector<std::string> lits;
+      for (int v = 0; v < sop.num_vars(); ++v) {
+        if (!cube.has_literal(v)) continue;
+        lits.push_back((cube.polarity(v) ? "" : "!") + names[v]);
+      }
+      if (lits.empty()) lits.push_back("1");
+      cube_nets.push_back(emit_tree(std::move(lits), SimpleGate::Op::kAnd,
+                                    root + "_and", &counter, out.gates));
+    }
+    const std::string top = emit_tree(std::move(cube_nets), SimpleGate::Op::kOr,
+                                      root + "_or", &counter, out.gates);
+    if (!top.empty() && top != root)
+      out.gates.push_back(SimpleGate{SimpleGate::Op::kBuf, root, top, {}});
+    out.literals += tech_decomp2_literals(sop);
+  };
+
+  for (const auto& impl : netlist.impls()) {
+    const auto& name = sg.signal(impl.signal).name;
+    if (impl.combinational) {
+      decompose_sop(impl.set, name);
+    } else {
+      decompose_sop(impl.set, name + "_set");
+      decompose_sop(impl.reset, name + "_reset");
+      ++out.c_elements;
+    }
+  }
+  return out;
+}
+
+}  // namespace sitm

@@ -1,0 +1,40 @@
+#pragma once
+// Non-speed-independence-preserving decomposition into 2-input gates —
+// the baseline of Table 1's "non-SI" cost column (SIS `tech_decomp -a 2`).
+//
+// Every SOP gate is replaced by a tree of 2-input AND gates per cube and a
+// tree of 2-input OR gates across cubes (input inversions are free, as in
+// the paper's literal model).  A k-literal SOP therefore costs 2*(k-1)
+// literals after decomposition.  C elements are kept as they are.
+//
+// The result is generally NOT hazard-free under the unbounded gate delay
+// model; it serves purely as the area baseline.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace sitm {
+
+/// One 2-input gate of the decomposed network.
+struct SimpleGate {
+  enum class Op { kAnd, kOr, kBuf } op = Op::kBuf;
+  std::string out;
+  /// Input net names; leading '!' marks an inverted input (free inversion).
+  std::string in0, in1;
+};
+
+struct TechDecompResult {
+  std::vector<SimpleGate> gates;
+  int literals = 0;     ///< 2 per 2-input gate
+  int c_elements = 0;   ///< unchanged from the source netlist
+};
+
+/// Decompose all SOP gates of `netlist` into 2-input AND/OR gates.
+TechDecompResult tech_decomp2(const Netlist& netlist);
+
+/// Closed-form literal cost of decomposing one SOP into 2-input gates.
+int tech_decomp2_literals(const Cover& sop);
+
+}  // namespace sitm

@@ -1,0 +1,32 @@
+#pragma once
+// Netlist writers: structural Verilog and an EQN-style equation file.
+//
+// The Verilog writer emits one module with
+//   * an `assign` per combinational (complete cover) signal,
+//   * a generalized C element instance (behavioural `sitm_gc` primitive,
+//     emitted alongside) per sequential signal, fed by the set/reset SOP
+//     networks.
+// This matches the standard-C architecture of the paper's Figure 2; the SOP
+// gates are written in factored form for readability (the logic is
+// equivalent to the covers).
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace sitm {
+
+/// Structural Verilog of the standard-C netlist.
+void write_verilog(std::ostream& out, const Netlist& netlist,
+                   const std::string& module_name = "sitm_circuit");
+std::string write_verilog_string(const Netlist& netlist,
+                                 const std::string& module_name = "sitm_circuit");
+
+/// SIS-style .eqn equations: one line per gate/C element.
+void write_eqn(std::ostream& out, const Netlist& netlist,
+               const std::string& model_name = "sitm_circuit");
+std::string write_eqn_string(const Netlist& netlist,
+                             const std::string& model_name = "sitm_circuit");
+
+}  // namespace sitm

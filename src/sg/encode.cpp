@@ -1,0 +1,60 @@
+#include "sg/encode.hpp"
+
+#include "util/error.hpp"
+
+namespace sitm {
+
+BddRef encode_codes(BddManager& mgr, const StateGraph& sg,
+                    const DynBitset& set) {
+  if (mgr.num_vars() < sg.num_signals())
+    throw Error("encode_codes: manager too small for the signal count");
+  BddRef sum = mgr.bdd_false();
+  set.for_each([&](std::size_t s) {
+    const StateCode code = sg.code(static_cast<StateId>(s));
+    BddRef minterm = mgr.bdd_true();
+    for (int v = sg.num_signals() - 1; v >= 0; --v)
+      minterm = mgr.bdd_and(minterm, mgr.literal(v, (code >> v) & 1));
+    sum = mgr.bdd_or(sum, minterm);
+  });
+  return sum;
+}
+
+bool symbolic_csc(BddManager& mgr, const StateGraph& sg) {
+  const DynBitset reachable = sg.reachable();
+  for (int sig : sg.noninput_signals()) {
+    for (bool rising : {true, false}) {
+      const Event e{sig, rising};
+      DynBitset enabled(sg.num_states()), disabled(sg.num_states());
+      reachable.for_each([&](std::size_t s) {
+        (sg.enabled(static_cast<StateId>(s), e) ? enabled : disabled).set(s);
+      });
+      const BddRef a = encode_codes(mgr, sg, enabled);
+      const BddRef b = encode_codes(mgr, sg, disabled);
+      if (mgr.bdd_and(a, b) != mgr.bdd_false()) return false;
+    }
+  }
+  return true;
+}
+
+bool symbolic_usc(BddManager& mgr, const StateGraph& sg) {
+  const DynBitset reachable = sg.reachable();
+  const BddRef codes = encode_codes(mgr, sg, reachable);
+  // Variables beyond the signal count are unconstrained in every minterm.
+  double scale = 1.0;
+  for (int v = sg.num_signals(); v < mgr.num_vars(); ++v) scale *= 2.0;
+  return mgr.sat_count(codes) / scale ==
+         static_cast<double>(reachable.count());
+}
+
+bool symbolic_cover_ok(BddManager& mgr, const StateGraph& sg,
+                       const Cover& cover, const DynBitset& on,
+                       const DynBitset& off) {
+  const BddRef f = mgr.from_cover(cover);
+  const BddRef on_codes = encode_codes(mgr, sg, on);
+  const BddRef off_codes = encode_codes(mgr, sg, off);
+  // on => f  and  f & off = 0.
+  return mgr.bdd_imp(on_codes, f) == mgr.bdd_true() &&
+         mgr.bdd_and(f, off_codes) == mgr.bdd_false();
+}
+
+}  // namespace sitm

@@ -1,0 +1,38 @@
+#pragma once
+// Symbolic encodings of State Graph state sets.
+//
+// Bridges the explicit SG world and the BDD package: characteristic
+// functions of state sets over the signal variables, symbolic CSC/USC
+// checks, and symbolic validation of cover functions.  Used as an
+// independent cross-check of the explicit algorithms (same-author follow-up
+// work moved the whole flow onto BDDs; here the explicit engine is primary
+// and the symbolic one is the referee).
+
+#include "bdd/bdd.hpp"
+#include "sg/state_graph.hpp"
+#include "util/dynbitset.hpp"
+
+namespace sitm {
+
+/// Characteristic function (over signal variables) of the codes of the
+/// states in `set`.  Distinct states sharing a code collapse to one minterm.
+BddRef encode_codes(BddManager& mgr, const StateGraph& sg,
+                    const DynBitset& set);
+
+/// Symbolic CSC check: for every non-input event, the codes of states
+/// enabling it must be disjoint from the codes of reachable states that do
+/// not.  Equivalent to check_csc (the tests assert this).
+bool symbolic_csc(BddManager& mgr, const StateGraph& sg);
+
+/// Symbolic USC check: no two distinct states share a code — i.e. the
+/// number of distinct reachable codes equals the number of states.
+bool symbolic_usc(BddManager& mgr, const StateGraph& sg);
+
+/// Symbolic MC-cover validation: `cover` evaluates to 1 on all of `on` and
+/// to 0 on all of `off` (state sets given explicitly, comparison done on
+/// the BDD level).
+bool symbolic_cover_ok(BddManager& mgr, const StateGraph& sg,
+                       const Cover& cover, const DynBitset& on,
+                       const DynBitset& off);
+
+}  // namespace sitm

@@ -1,0 +1,175 @@
+#include "sg/properties.hpp"
+
+#include <map>
+
+#include "util/text.hpp"
+
+namespace sitm {
+
+PropertyResult check_consistency(const StateGraph& sg) {
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    for (const auto& e : sg.succs(s)) {
+      const bool before = sg.value(s, e.event.signal);
+      const bool after = sg.value(e.target, e.event.signal);
+      if (before == e.event.rising || after != e.event.rising) {
+        return PropertyResult::fail(strfmt(
+            "inconsistent arc %s: %s -> %s", sg.event_string(e.event).c_str(),
+            sg.code_string(s).c_str(), sg.code_string(e.target).c_str()));
+      }
+      const StateCode diff = sg.code(s) ^ sg.code(e.target);
+      if (diff != (StateCode{1} << e.event.signal)) {
+        return PropertyResult::fail(strfmt(
+            "arc %s changes signals other than its own: %s -> %s",
+            sg.event_string(e.event).c_str(), sg.code_string(s).c_str(),
+            sg.code_string(e.target).c_str()));
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_determinism(const StateGraph& sg) {
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    const auto& edges = sg.succs(s);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      for (std::size_t j = i + 1; j < edges.size(); ++j) {
+        if (edges[i].event == edges[j].event &&
+            edges[i].target != edges[j].target) {
+          return PropertyResult::fail(
+              strfmt("state %s has two %s-successors", sg.code_string(s).c_str(),
+                     sg.event_string(edges[i].event).c_str()));
+        }
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_commutativity(const StateGraph& sg) {
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    const auto& edges = sg.succs(s);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      for (std::size_t j = i + 1; j < edges.size(); ++j) {
+        const Event a = edges[i].event, b = edges[j].event;
+        if (a == b) continue;
+        // After a, is b still enabled?  If both orders can complete they
+        // must join in the same state.
+        const StateId s_ab = sg.successor(edges[i].target, b);
+        const StateId s_ba = sg.successor(edges[j].target, a);
+        if (s_ab != kNoState && s_ba != kNoState && s_ab != s_ba) {
+          return PropertyResult::fail(strfmt(
+              "non-commutative pair (%s,%s) from state %s",
+              sg.event_string(a).c_str(), sg.event_string(b).c_str(),
+              sg.code_string(s).c_str()));
+        }
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_persistency(const StateGraph& sg,
+                                 const std::vector<int>& signals) {
+  DynBitset watched(64);
+  for (int sig : signals) watched.set(static_cast<std::size_t>(sig));
+
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    for (const auto& ea : sg.succs(s)) {
+      // Firing ea must not disable any other enabled watched event.
+      for (const auto& eb : sg.succs(s)) {
+        if (eb.event == ea.event) continue;
+        if (!watched.test(static_cast<std::size_t>(eb.event.signal))) continue;
+        if (!sg.enabled(ea.target, eb.event)) {
+          return PropertyResult::fail(strfmt(
+              "event %s disabled by %s in state %s",
+              sg.event_string(eb.event).c_str(),
+              sg.event_string(ea.event).c_str(), sg.code_string(s).c_str()));
+        }
+      }
+    }
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_output_persistency(const StateGraph& sg) {
+  return check_persistency(sg, sg.noninput_signals());
+}
+
+PropertyResult check_speed_independence(const StateGraph& sg) {
+  if (auto r = check_determinism(sg); !r) return r;
+  if (auto r = check_commutativity(sg); !r) return r;
+  return check_output_persistency(sg);
+}
+
+namespace {
+
+/// Bitmask of enabled non-input events: bit 2*sig (+1 if rising).
+std::uint64_t noninput_event_mask(const StateGraph& sg, StateId s) {
+  std::uint64_t mask = 0;
+  for (const auto& e : sg.succs(s)) {
+    if (is_noninput(sg.signal(e.event.signal).kind)) {
+      // num_signals <= 64 would overflow 2 bits/signal in uint64; use a
+      // 128-bit-safe encoding only if needed.  Benchmarks have < 32 signals.
+      mask |= std::uint64_t{1}
+              << (2 * (e.event.signal % 32) + (e.event.rising ? 1 : 0));
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+PropertyResult check_csc(const StateGraph& sg) {
+  std::map<StateCode, std::pair<StateId, std::uint64_t>> seen;
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    const std::uint64_t mask = noninput_event_mask(sg, s);
+    auto [it, inserted] = seen.emplace(sg.code(s), std::make_pair(s, mask));
+    if (!inserted && it->second.second != mask) {
+      return PropertyResult::fail(
+          strfmt("CSC conflict between states %d and %d (code %s)",
+                 static_cast<int>(it->second.first), static_cast<int>(s),
+                 sg.code_string(s).c_str()));
+    }
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_usc(const StateGraph& sg) {
+  std::map<StateCode, StateId> seen;
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    auto [it, inserted] = seen.emplace(sg.code(s), s);
+    if (!inserted) {
+      return PropertyResult::fail(strfmt("states %d and %d share code %s",
+                                         static_cast<int>(it->second),
+                                         static_cast<int>(s),
+                                         sg.code_string(s).c_str()));
+    }
+  }
+  return PropertyResult::pass();
+}
+
+PropertyResult check_implementability(const StateGraph& sg) {
+  if (auto r = check_consistency(sg); !r) return r;
+  if (auto r = check_speed_independence(sg); !r) return r;
+  return check_csc(sg);
+}
+
+std::vector<Diamond> enumerate_diamonds(const StateGraph& sg) {
+  std::vector<Diamond> out;
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    const auto& edges = sg.succs(s);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      for (std::size_t j = i + 1; j < edges.size(); ++j) {
+        const Event a = edges[i].event, b = edges[j].event;
+        if (a == b) continue;
+        const StateId top = sg.successor(edges[i].target, b);
+        if (top == kNoState) continue;
+        if (sg.successor(edges[j].target, a) != top) continue;
+        out.push_back(Diamond{s, edges[i].target, edges[j].target, top, a, b});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sitm

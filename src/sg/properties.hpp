@@ -1,0 +1,68 @@
+#pragma once
+// Implementability properties of State Graphs (paper Section 2.1):
+// consistency, determinism, commutativity, output persistency, and
+// Complete State Coding (CSC) / Unique State Coding (USC).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace sitm {
+
+/// Result of a property check: holds() plus a human-readable counterexample.
+struct PropertyResult {
+  bool ok = true;
+  std::string why;  ///< empty when ok
+
+  explicit operator bool() const { return ok; }
+  static PropertyResult pass() { return {}; }
+  static PropertyResult fail(std::string why) { return {false, std::move(why)}; }
+};
+
+/// Rising and falling transitions of each signal alternate and every arc
+/// flips exactly the bit of its labeling signal.
+PropertyResult check_consistency(const StateGraph& sg);
+
+/// At most one successor per (state, event).
+PropertyResult check_determinism(const StateGraph& sg);
+
+/// Whenever two events can fire from a state in any order, both orders are
+/// possible and reach the same state (all "diamonds" close).
+PropertyResult check_commutativity(const StateGraph& sg);
+
+/// Events of the given signals are never disabled by another event firing.
+/// `signals` defaults to all non-input signals (output persistency).
+PropertyResult check_persistency(const StateGraph& sg,
+                                 const std::vector<int>& signals);
+PropertyResult check_output_persistency(const StateGraph& sg);
+
+/// Determinism + commutativity + output persistency (paper's definition of
+/// SG speed-independence).
+PropertyResult check_speed_independence(const StateGraph& sg);
+
+/// Complete State Coding: states with equal codes enable the same non-input
+/// events.
+PropertyResult check_csc(const StateGraph& sg);
+
+/// Unique State Coding: no two distinct states share a code.
+PropertyResult check_usc(const StateGraph& sg);
+
+/// All of the above except USC; the precondition of the mapping flow.
+PropertyResult check_implementability(const StateGraph& sg);
+
+/// A commutativity diamond: s -a-> sa, s -b-> sb, sa -b-> q, sb -a-> q.
+struct Diamond {
+  StateId bottom = kNoState;  ///< s
+  StateId left = kNoState;    ///< sa (after a)
+  StateId right = kNoState;   ///< sb (after b)
+  StateId top = kNoState;     ///< q
+  Event a, b;
+};
+
+/// Enumerate every diamond of the SG (each unordered {a,b} pair reported
+/// once).  Used by the SIP-set computation (paper Section 3.2, step 3).
+std::vector<Diamond> enumerate_diamonds(const StateGraph& sg);
+
+}  // namespace sitm

@@ -1,0 +1,112 @@
+#pragma once
+// State Graph (SG): the behavioural model of the paper (Section 2.1).
+//
+// An SG is a directed graph whose nodes (states) are labeled with signal
+// value vectors and whose arcs are labeled with signal transitions.  The
+// technology mapping flow requires the SG to be consistent, deterministic,
+// commutative and output-persistent, and to satisfy Complete State Coding.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sg/signal.hpp"
+#include "util/dynbitset.hpp"
+
+namespace sitm {
+
+/// Index of a state inside a StateGraph.
+using StateId = std::int32_t;
+inline constexpr StateId kNoState = -1;
+
+/// Labeled arc of a state graph.
+struct Arc {
+  Event event;
+  StateId from = kNoState;
+  StateId to = kNoState;
+};
+
+/// Explicit state graph over at most 64 signals.
+///
+/// States are created with `add_state` and connected with `add_arc`; the
+/// per-state adjacency (successors/predecessors) is maintained eagerly so
+/// the region computations can traverse in both directions.
+class StateGraph {
+ public:
+  // ----- construction -------------------------------------------------
+
+  /// Register a signal; returns its index.  Throws if the name is already
+  /// used or more than 64 signals are declared.
+  int add_signal(std::string name, SignalKind kind);
+
+  /// Create a state carrying binary code `code`; returns its id.
+  StateId add_state(StateCode code);
+
+  /// Connect `from` to `to` with event `ev`.  No consistency check is done
+  /// here; use `check_consistency` after construction.
+  void add_arc(StateId from, Event ev, StateId to);
+
+  void set_initial(StateId s) { initial_ = s; }
+
+  // ----- basic queries -------------------------------------------------
+
+  int num_signals() const { return static_cast<int>(signals_.size()); }
+  std::size_t num_states() const { return codes_.size(); }
+  std::size_t num_arcs() const;
+  StateId initial() const { return initial_; }
+
+  const Signal& signal(int i) const { return signals_[i]; }
+  const std::vector<Signal>& signals() const { return signals_; }
+  /// Index of a signal by name, or -1.
+  int find_signal(std::string_view name) const;
+
+  /// Indices of all input / non-input signals.
+  std::vector<int> input_signals() const;
+  std::vector<int> noninput_signals() const;
+
+  StateCode code(StateId s) const { return codes_[s]; }
+  bool value(StateId s, int signal) const {
+    return (codes_[s] >> signal) & 1u;
+  }
+
+  struct Edge {
+    Event event;
+    StateId target;
+  };
+  const std::vector<Edge>& succs(StateId s) const { return succs_[s]; }
+  const std::vector<Edge>& preds(StateId s) const { return preds_[s]; }
+
+  /// True if event `e` is enabled (has an outgoing arc) in state `s`.
+  bool enabled(StateId s, Event e) const;
+  /// Successor of `s` under event `e`, or kNoState.  (Assumes determinism;
+  /// returns the first matching arc.)
+  StateId successor(StateId s, Event e) const;
+  /// All events enabled in `s`.
+  std::vector<Event> enabled_events(StateId s) const;
+
+  /// Render the code of `s` as a 0/1 string in signal order, e.g. "1010".
+  std::string code_string(StateId s) const;
+  /// Human-readable event name, e.g. "csc0+".
+  std::string event_string(Event e) const;
+
+  /// Empty state set sized for this graph.
+  DynBitset empty_set() const { return DynBitset(num_states()); }
+  /// Set of all states.
+  DynBitset full_set() const;
+  /// States reachable from the initial state.
+  DynBitset reachable() const;
+
+  /// Remove states unreachable from the initial state; renumbers states.
+  /// Returns the number of removed states.
+  std::size_t prune_unreachable();
+
+ private:
+  std::vector<Signal> signals_;
+  std::vector<StateCode> codes_;
+  std::vector<std::vector<Edge>> succs_;
+  std::vector<std::vector<Edge>> preds_;
+  StateId initial_ = kNoState;
+};
+
+}  // namespace sitm

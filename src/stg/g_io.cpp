@@ -1,0 +1,229 @@
+#include "stg/g_io.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sitm {
+
+namespace {
+
+struct TransRef {
+  std::string signal;
+  bool rising = true;
+  int instance = 1;
+};
+
+/// Try to parse "sig+", "sig-", "sig+/2"; returns false for place tokens.
+bool parse_transition_token(std::string_view token, TransRef* out) {
+  std::string_view body = token;
+  int instance = 1;
+  if (const auto slash = token.rfind('/'); slash != std::string_view::npos) {
+    const auto inst = token.substr(slash + 1);
+    if (inst.empty()) return false;
+    instance = 0;
+    for (char c : inst) {
+      if (c < '0' || c > '9') return false;
+      instance = instance * 10 + (c - '0');
+    }
+    body = token.substr(0, slash);
+  }
+  if (body.size() < 2) return false;
+  const char polarity = body.back();
+  if (polarity != '+' && polarity != '-') return false;
+  out->signal = std::string(body.substr(0, body.size() - 1));
+  out->rising = polarity == '+';
+  out->instance = instance;
+  return true;
+}
+
+}  // namespace
+
+Stg read_g(std::istream& in, std::string* name) {
+  Stg stg;
+  std::map<std::string, PlaceId, std::less<>> places;
+  bool in_graph = false;
+  std::vector<std::string> marking_tokens;
+
+  // Node handle: a transition id or an explicit place id.
+  struct NodeRef {
+    bool is_place = false;
+    int id = -1;
+  };
+  auto resolve = [&](std::string_view token) -> NodeRef {
+    TransRef tr;
+    if (parse_transition_token(token, &tr)) {
+      const int sig = stg.find_signal(tr.signal);
+      if (sig < 0)
+        throw Error("transition of undeclared signal: " + std::string(token));
+      TransId t = stg.find_transition(sig, tr.rising, tr.instance);
+      if (t < 0) t = stg.add_transition(sig, tr.rising, tr.instance);
+      return NodeRef{false, t};
+    }
+    auto it = places.find(token);
+    if (it == places.end()) {
+      const PlaceId p = stg.add_place(std::string(token));
+      it = places.emplace(std::string(token), p).first;
+    }
+    return NodeRef{true, it->second};
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    auto tokens = split_ws(text);
+    const auto& head = tokens[0];
+    if (head == ".model" || head == ".name") {
+      if (name && tokens.size() > 1) *name = std::string(tokens[1]);
+    } else if (head == ".inputs" || head == ".outputs" || head == ".internal") {
+      const SignalKind kind = head == ".inputs"    ? SignalKind::kInput
+                              : head == ".outputs" ? SignalKind::kOutput
+                                                   : SignalKind::kInternal;
+      for (std::size_t i = 1; i < tokens.size(); ++i)
+        stg.add_signal(std::string(tokens[i]), kind);
+    } else if (head == ".dummy") {
+      throw Error(".g reader: dummy transitions are not supported");
+    } else if (head == ".graph") {
+      in_graph = true;
+    } else if (head == ".marking") {
+      std::string rest(text.substr(head.size()));
+      for (char& c : rest)
+        if (c == '{' || c == '}') c = ' ';
+      for (auto tok : split_ws(rest)) marking_tokens.emplace_back(tok);
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      // Ignore unknown directives (.coords, .capacity, ...).
+    } else if (in_graph) {
+      if (tokens.size() < 2)
+        throw Error(".g graph line needs >= 2 tokens: " + line);
+      const NodeRef src = resolve(tokens[0]);
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const NodeRef dst = resolve(tokens[i]);
+        if (!src.is_place && !dst.is_place) {
+          stg.connect_tt(src.id, dst.id);
+        } else if (!src.is_place && dst.is_place) {
+          stg.connect_tp(src.id, dst.id);
+        } else if (src.is_place && !dst.is_place) {
+          stg.connect_pt(src.id, dst.id);
+        } else {
+          throw Error(".g: place-to-place arc not allowed: " + line);
+        }
+      }
+    } else {
+      throw Error(".g: unexpected line: " + line);
+    }
+  }
+
+  // Marking: explicit places by name, implicit places as <t1,t2>.
+  for (const auto& token : marking_tokens) {
+    if (token.front() == '<') {
+      if (token.back() != '>') throw Error(".g: bad marking token " + token);
+      const auto comma = token.find(',');
+      if (comma == std::string::npos)
+        throw Error(".g: bad implicit place " + token);
+      auto trans_of = [&](std::string_view t) -> TransId {
+        TransRef tr;
+        if (!parse_transition_token(t, &tr))
+          throw Error(".g: bad transition in marking: " + std::string(t));
+        const int sig = stg.find_signal(tr.signal);
+        const TransId id =
+            sig < 0 ? -1 : stg.find_transition(sig, tr.rising, tr.instance);
+        if (id < 0)
+          throw Error(".g: unknown transition in marking: " + std::string(t));
+        return id;
+      };
+      const TransId from = trans_of(token.substr(1, comma - 1));
+      const TransId to =
+          trans_of(token.substr(comma + 1, token.size() - comma - 2));
+      stg.mark_initial(stg.connect_tt(from, to));
+    } else {
+      auto it = places.find(token);
+      if (it == places.end())
+        throw Error(".g: unknown place in marking: " + token);
+      stg.mark_initial(it->second);
+    }
+  }
+  return stg;
+}
+
+Stg read_g_string(const std::string& text, std::string* name) {
+  std::istringstream in(text);
+  return read_g(in, name);
+}
+
+void write_g(std::ostream& out, const Stg& stg, const std::string& name) {
+  out << ".model " << name << "\n";
+  auto emit_kind = [&](const char* head, SignalKind kind) {
+    bool any = false;
+    for (const auto& sig : stg.signals())
+      if (sig.kind == kind) {
+        if (!any) out << head;
+        any = true;
+        out << ' ' << sig.name;
+      }
+    if (any) out << "\n";
+  };
+  emit_kind(".inputs", SignalKind::kInput);
+  emit_kind(".outputs", SignalKind::kOutput);
+  emit_kind(".internal", SignalKind::kInternal);
+  out << ".graph\n";
+
+  auto place_name = [&](PlaceId p) {
+    const auto& pl = stg.place(p);
+    return pl.name.empty() ? "ip" + std::to_string(p) : pl.name;
+  };
+
+  // Transition -> transition shorthands for implicit places; everything else
+  // through named places.
+  for (TransId t = 0; t < static_cast<TransId>(stg.num_transitions()); ++t) {
+    std::string line = stg.transition_string(t);
+    bool any = false;
+    for (PlaceId p : stg.post_places(t)) {
+      const auto& pl = stg.place(p);
+      if (pl.name.empty() && pl.pre.size() == 1 && pl.post.size() == 1) {
+        line += ' ' + stg.transition_string(pl.post[0]);
+        any = true;
+      }
+    }
+    if (any) out << line << "\n";
+  }
+  for (PlaceId p = 0; p < static_cast<PlaceId>(stg.num_places()); ++p) {
+    const auto& pl = stg.place(p);
+    const bool implicit =
+        pl.name.empty() && pl.pre.size() == 1 && pl.post.size() == 1;
+    if (implicit) continue;
+    for (TransId t : pl.pre)
+      out << stg.transition_string(t) << ' ' << place_name(p) << "\n";
+    if (!pl.post.empty()) {
+      out << place_name(p);
+      for (TransId t : pl.post) out << ' ' << stg.transition_string(t);
+      out << "\n";
+    }
+  }
+
+  out << ".marking {";
+  for (PlaceId p : stg.initial_marking()) {
+    const auto& pl = stg.place(p);
+    if (pl.name.empty() && pl.pre.size() == 1 && pl.post.size() == 1) {
+      out << " <" << stg.transition_string(pl.pre[0]) << ','
+          << stg.transition_string(pl.post[0]) << '>';
+    } else {
+      out << ' ' << place_name(p);
+    }
+  }
+  out << " }\n.end\n";
+}
+
+std::string write_g_string(const Stg& stg, const std::string& name) {
+  std::ostringstream out;
+  write_g(out, stg, name);
+  return out.str();
+}
+
+}  // namespace sitm

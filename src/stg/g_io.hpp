@@ -1,0 +1,31 @@
+#pragma once
+// Reader/writer for the astg ".g" format used by SIS and petrify:
+//
+//   .model name
+//   .inputs a b
+//   .outputs c
+//   .graph
+//   a+ c+ b+        # arcs from node a+ to nodes c+ and b+
+//   p0 a+           # explicit place p0 -> transition a+
+//   c+ p0
+//   .marking { p0 <a+,b+> }
+//   .end
+//
+// Transition tokens are <signal>(+|-)[/instance]; any other token in the
+// graph section denotes an explicit place.  Implicit places are written as
+// <t1,t2> in the marking.  Dummy transitions are not supported.
+
+#include <iosfwd>
+#include <string>
+
+#include "stg/stg.hpp"
+
+namespace sitm {
+
+Stg read_g(std::istream& in, std::string* name = nullptr);
+Stg read_g_string(const std::string& text, std::string* name = nullptr);
+
+void write_g(std::ostream& out, const Stg& stg, const std::string& name = "stg");
+std::string write_g_string(const Stg& stg, const std::string& name = "stg");
+
+}  // namespace sitm

@@ -1,0 +1,197 @@
+#include "stg/stg.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sitm {
+
+int Stg::add_signal(std::string name, SignalKind kind) {
+  if (signals_.size() >= 64) throw Error("Stg: more than 64 signals");
+  if (find_signal(name) >= 0) throw Error("Stg: duplicate signal '" + name + "'");
+  signals_.push_back(Signal{std::move(name), kind});
+  return static_cast<int>(signals_.size()) - 1;
+}
+
+TransId Stg::add_transition(int signal, bool rising, int instance) {
+  if (signal < 0 || signal >= num_signals())
+    throw Error("Stg: transition with unknown signal");
+  transitions_.push_back(StgTransition{signal, rising, instance});
+  pre_.emplace_back();
+  post_.emplace_back();
+  return static_cast<TransId>(transitions_.size()) - 1;
+}
+
+PlaceId Stg::add_place(std::string name) {
+  places_.push_back(StgPlace{std::move(name), {}, {}});
+  return static_cast<PlaceId>(places_.size()) - 1;
+}
+
+void Stg::connect_tp(TransId t, PlaceId p) {
+  post_[t].push_back(p);
+  places_[p].pre.push_back(t);
+}
+
+void Stg::connect_pt(PlaceId p, TransId t) {
+  pre_[t].push_back(p);
+  places_[p].post.push_back(t);
+}
+
+PlaceId Stg::connect_tt(TransId from, TransId to) {
+  // Reuse an existing implicit place with exactly this connectivity.
+  for (PlaceId p = 0; p < static_cast<PlaceId>(places_.size()); ++p) {
+    const auto& pl = places_[p];
+    if (pl.name.empty() && pl.pre.size() == 1 && pl.post.size() == 1 &&
+        pl.pre[0] == from && pl.post[0] == to)
+      return p;
+  }
+  const PlaceId p = add_place();
+  connect_tp(from, p);
+  connect_pt(p, to);
+  return p;
+}
+
+int Stg::find_signal(std::string_view name) const {
+  for (std::size_t i = 0; i < signals_.size(); ++i)
+    if (signals_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+TransId Stg::find_transition(int signal, bool rising, int instance) const {
+  for (TransId t = 0; t < static_cast<TransId>(transitions_.size()); ++t) {
+    const auto& tr = transitions_[t];
+    if (tr.signal == signal && tr.rising == rising && tr.instance == instance)
+      return t;
+  }
+  return -1;
+}
+
+std::string Stg::transition_string(TransId t) const {
+  const auto& tr = transitions_[t];
+  std::string out = event_name(signals_[tr.signal].name, tr.rising);
+  if (tr.instance != 1) out += "/" + std::to_string(tr.instance);
+  return out;
+}
+
+namespace {
+
+using Marking = std::vector<std::uint64_t>;
+
+Marking make_marking(std::size_t places) {
+  return Marking((places + 63) / 64, 0);
+}
+bool marked(const Marking& m, PlaceId p) {
+  return (m[static_cast<std::size_t>(p) >> 6] >> (p & 63)) & 1u;
+}
+void set_token(Marking& m, PlaceId p, bool v) {
+  const std::uint64_t bit = std::uint64_t{1} << (p & 63);
+  if (v)
+    m[static_cast<std::size_t>(p) >> 6] |= bit;
+  else
+    m[static_cast<std::size_t>(p) >> 6] &= ~bit;
+}
+
+}  // namespace
+
+StateGraph Stg::to_state_graph(std::size_t max_states) const {
+  if (initial_marking_.empty()) throw Error("Stg: empty initial marking");
+
+  Marking init = make_marking(places_.size());
+  for (PlaceId p : initial_marking_) {
+    if (marked(init, p)) throw Error("Stg: initial marking not 1-safe");
+    set_token(init, p, true);
+  }
+
+  struct Node {
+    Marking marking;
+    StateCode mask;  ///< XOR of fired signals relative to the initial state
+  };
+  std::map<Marking, StateId> ids;
+  std::vector<Node> nodes;
+  struct PendingArc {
+    StateId from, to;
+    Event event;
+  };
+  std::vector<PendingArc> arcs;
+
+  // initial_value[sig]: -1 unknown, else 0/1.
+  std::vector<int> initial_value(signals_.size(), -1);
+
+  nodes.push_back(Node{init, 0});
+  ids.emplace(init, 0);
+  std::vector<StateId> queue{0};
+
+  while (!queue.empty()) {
+    const StateId sid = queue.back();
+    queue.pop_back();
+    const Node node = nodes[sid];  // copy: nodes may reallocate
+
+    for (TransId t = 0; t < static_cast<TransId>(transitions_.size()); ++t) {
+      bool enabled = true;
+      for (PlaceId p : pre_[t])
+        if (!marked(node.marking, p)) {
+          enabled = false;
+          break;
+        }
+      if (!enabled || pre_[t].empty()) continue;
+
+      const auto& tr = transitions_[t];
+      // Consistency: value of the signal before firing is mask-relative.
+      const int rel = static_cast<int>((node.mask >> tr.signal) & 1);
+      const int required_initial = tr.rising ? rel : 1 - rel;
+      if (initial_value[tr.signal] < 0) {
+        initial_value[tr.signal] = required_initial;
+      } else if (initial_value[tr.signal] != required_initial) {
+        throw Error("Stg: inconsistent labeling for signal " +
+                    signals_[tr.signal].name);
+      }
+
+      Marking next = node.marking;
+      for (PlaceId p : pre_[t]) set_token(next, p, false);
+      for (PlaceId p : post_[t]) {
+        if (marked(next, p))
+          throw Error("Stg: net is not 1-safe (place overflow firing " +
+                      transition_string(t) + ")");
+        set_token(next, p, true);
+      }
+      const StateCode next_mask = node.mask ^ (StateCode{1} << tr.signal);
+
+      auto [it, inserted] =
+          ids.emplace(next, static_cast<StateId>(nodes.size()));
+      if (inserted) {
+        if (nodes.size() >= max_states)
+          throw Error("Stg: state explosion beyond max_states");
+        nodes.push_back(Node{std::move(next), next_mask});
+        queue.push_back(it->second);
+      } else if (nodes[it->second].mask != next_mask) {
+        throw Error("Stg: marking reached with two different signal codes");
+      }
+      arcs.push_back(PendingArc{sid, it->second, tr.event()});
+    }
+  }
+
+  StateCode init_code = 0;
+  for (std::size_t i = 0; i < signals_.size(); ++i)
+    if (initial_value[i] == 1) init_code |= StateCode{1} << i;
+
+  StateGraph sg;
+  for (const auto& sig : signals_) sg.add_signal(sig.name, sig.kind);
+  for (const auto& node : nodes) sg.add_state(init_code ^ node.mask);
+  for (const auto& arc : arcs) {
+    // Self-loops in code space are impossible by construction; duplicate
+    // arcs (same from/event) collapse naturally in the SG representation.
+    sg.add_arc(arc.from, arc.event, arc.to);
+  }
+  sg.set_initial(0);
+  return sg;
+}
+
+StateCode Stg::infer_initial_code() const {
+  // Delegate to the token game; cheap at benchmark sizes.
+  const StateGraph sg = to_state_graph();
+  return sg.code(sg.initial());
+}
+
+}  // namespace sitm

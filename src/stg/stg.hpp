@@ -1,0 +1,93 @@
+#pragma once
+// Signal Transition Graphs: 1-safe labeled Petri nets whose transitions are
+// signal edges (a+/a-).  STGs are the front-end specification language; the
+// mapping flow itself works on the State Graph obtained by reachability
+// analysis (token game).
+
+#include <string>
+#include <vector>
+
+#include "sg/signal.hpp"
+#include "sg/state_graph.hpp"
+
+namespace sitm {
+
+/// Index types inside an Stg.
+using TransId = int;
+using PlaceId = int;
+
+/// A labeled transition: instance `instance` of edge sig+/sig- (instances
+/// distinguish multiple occurrences of the same edge, "a+/2" in .g files).
+struct StgTransition {
+  int signal = -1;
+  bool rising = true;
+  int instance = 1;
+  Event event() const { return Event{signal, rising}; }
+};
+
+/// A place; `name` is empty for implicit places created between two
+/// transitions by the .g shorthand "t1 t2".
+struct StgPlace {
+  std::string name;
+  std::vector<TransId> pre;   ///< transitions producing into this place
+  std::vector<TransId> post;  ///< transitions consuming from this place
+};
+
+/// Signal Transition Graph (1-safe labeled Petri net).
+class Stg {
+ public:
+  int add_signal(std::string name, SignalKind kind);
+  TransId add_transition(int signal, bool rising, int instance = 1);
+  PlaceId add_place(std::string name = {});
+  /// Arc transition -> place.
+  void connect_tp(TransId t, PlaceId p);
+  /// Arc place -> transition.
+  void connect_pt(PlaceId p, TransId t);
+  /// Implicit place between two transitions (creates it if absent).
+  PlaceId connect_tt(TransId from, TransId to);
+
+  void mark_initial(PlaceId p) { initial_marking_.push_back(p); }
+
+  int num_signals() const { return static_cast<int>(signals_.size()); }
+  const Signal& signal(int i) const { return signals_[i]; }
+  const std::vector<Signal>& signals() const { return signals_; }
+  int find_signal(std::string_view name) const;
+
+  std::size_t num_transitions() const { return transitions_.size(); }
+  std::size_t num_places() const { return places_.size(); }
+  const StgTransition& transition(TransId t) const { return transitions_[t]; }
+  const StgPlace& place(PlaceId p) const { return places_[p]; }
+  const std::vector<PlaceId>& initial_marking() const {
+    return initial_marking_;
+  }
+  /// Preset/postset places of a transition.
+  const std::vector<PlaceId>& pre_places(TransId t) const { return pre_[t]; }
+  const std::vector<PlaceId>& post_places(TransId t) const { return post_[t]; }
+
+  /// Find transition by (signal, polarity, instance); -1 if absent.
+  TransId find_transition(int signal, bool rising, int instance) const;
+
+  /// "a+" or "a-/2" rendering.
+  std::string transition_string(TransId t) const;
+
+  /// Token-game reachability to a State Graph.
+  ///
+  /// Initial signal values are inferred from the first transition polarity
+  /// seen for each signal on any path (a+ first => initial 0), which is
+  /// well-defined exactly when the STG has a consistent labeling; violations
+  /// throw.  Throws if more than `max_states` states are produced or the net
+  /// is not 1-safe.
+  StateGraph to_state_graph(std::size_t max_states = 1u << 22) const;
+
+  /// Infer initial signal values (bit per signal) without building the SG.
+  StateCode infer_initial_code() const;
+
+ private:
+  std::vector<Signal> signals_;
+  std::vector<StgTransition> transitions_;
+  std::vector<StgPlace> places_;
+  std::vector<std::vector<PlaceId>> pre_, post_;  // per transition
+  std::vector<PlaceId> initial_marking_;
+};
+
+}  // namespace sitm

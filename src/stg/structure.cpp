@@ -1,0 +1,147 @@
+#include "stg/structure.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace sitm {
+
+std::vector<std::vector<int>> incidence_matrix(const Stg& stg) {
+  std::vector<std::vector<int>> c(
+      stg.num_places(), std::vector<int>(stg.num_transitions(), 0));
+  for (TransId t = 0; t < static_cast<TransId>(stg.num_transitions()); ++t) {
+    for (PlaceId p : stg.pre_places(t)) --c[static_cast<std::size_t>(p)][static_cast<std::size_t>(t)];
+    for (PlaceId p : stg.post_places(t)) ++c[static_cast<std::size_t>(p)][static_cast<std::size_t>(t)];
+  }
+  return c;
+}
+
+namespace {
+
+/// One working row of the Farkas tableau: the remaining incidence part and
+/// the place-weight part.
+struct Row {
+  std::vector<long> c;  ///< per transition
+  std::vector<long> y;  ///< per place (non-negative combination weights)
+};
+
+long row_gcd(const Row& row) {
+  long g = 0;
+  for (long v : row.c) g = std::gcd(g, std::abs(v));
+  for (long v : row.y) g = std::gcd(g, std::abs(v));
+  return g == 0 ? 1 : g;
+}
+
+/// Does `a`'s support strictly contain `b`'s support (on the y part)?
+bool support_superset(const Row& a, const Row& b) {
+  bool strict = false;
+  for (std::size_t i = 0; i < a.y.size(); ++i) {
+    if (b.y[i] > 0 && a.y[i] == 0) return false;
+    if (a.y[i] > 0 && b.y[i] == 0) strict = true;
+  }
+  return strict;
+}
+
+}  // namespace
+
+std::vector<PlaceInvariant> place_invariants(const Stg& stg) {
+  const auto c = incidence_matrix(stg);
+  const std::size_t places = stg.num_places();
+  const std::size_t transitions = stg.num_transitions();
+  constexpr std::size_t kRowCap = 4096;
+
+  std::vector<Row> rows(places);
+  for (std::size_t p = 0; p < places; ++p) {
+    rows[p].c.assign(transitions, 0);
+    for (std::size_t t = 0; t < transitions; ++t)
+      rows[p].c[t] = c[p][t];
+    rows[p].y.assign(places, 0);
+    rows[p].y[p] = 1;
+  }
+
+  // Farkas elimination, one transition column at a time.
+  for (std::size_t t = 0; t < transitions; ++t) {
+    std::vector<Row> next;
+    std::vector<const Row*> pos, neg;
+    for (const auto& row : rows) {
+      if (row.c[t] == 0) {
+        next.push_back(row);
+      } else if (row.c[t] > 0) {
+        pos.push_back(&row);
+      } else {
+        neg.push_back(&row);
+      }
+    }
+    for (const Row* rp : pos) {
+      for (const Row* rn : neg) {
+        Row merged;
+        const long wp = -rn->c[t];
+        const long wn = rp->c[t];
+        merged.c.resize(transitions);
+        merged.y.resize(places);
+        for (std::size_t i = 0; i < transitions; ++i)
+          merged.c[i] = wp * rp->c[i] + wn * rn->c[i];
+        for (std::size_t i = 0; i < places; ++i)
+          merged.y[i] = wp * rp->y[i] + wn * rn->y[i];
+        const long g = row_gcd(merged);
+        for (auto& v : merged.c) v /= g;
+        for (auto& v : merged.y) v /= g;
+        next.push_back(std::move(merged));
+        if (next.size() > kRowCap)
+          throw Error("place_invariants: Farkas row explosion");
+      }
+    }
+    // Minimal-support pruning keeps the tableau small.  Mark first, move
+    // after: moving while other rows are still compared would read
+    // moved-from vectors.
+    std::vector<char> dominated(next.size(), 0);
+    for (std::size_t i = 0; i < next.size(); ++i)
+      for (std::size_t j = 0; j < next.size(); ++j)
+        if (i != j && !dominated[j] && support_superset(next[i], next[j])) {
+          dominated[i] = 1;
+          break;
+        }
+    std::vector<Row> pruned;
+    for (std::size_t i = 0; i < next.size(); ++i)
+      if (!dominated[i]) pruned.push_back(std::move(next[i]));
+    rows = std::move(pruned);
+  }
+
+  // Remaining rows have y^T C = 0.  Deduplicate and attach token sums.
+  std::vector<PlaceInvariant> out;
+  for (const auto& row : rows) {
+    PlaceInvariant inv;
+    inv.weights = row.y;
+    for (PlaceId p : stg.initial_marking())
+      inv.token_sum += inv.weights[static_cast<std::size_t>(p)];
+    const bool duplicate =
+        std::any_of(out.begin(), out.end(), [&](const PlaceInvariant& o) {
+          return o.weights == inv.weights;
+        });
+    if (!duplicate) out.push_back(std::move(inv));
+  }
+  return out;
+}
+
+bool structurally_safe(const Stg& stg) {
+  const auto invariants = place_invariants(stg);
+  for (PlaceId p = 0; p < static_cast<PlaceId>(stg.num_places()); ++p) {
+    bool covered = false;
+    for (const auto& inv : invariants) {
+      if (!inv.covers(p)) continue;
+      if (inv.token_sum != 1) continue;
+      // Unit weights on the whole support.
+      const bool unit = std::all_of(inv.weights.begin(), inv.weights.end(),
+                                    [](long w) { return w == 0 || w == 1; });
+      if (unit) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace sitm

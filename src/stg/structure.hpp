@@ -1,0 +1,46 @@
+#pragma once
+// Structural analysis of STGs: incidence matrix, place invariants (P-flows)
+// and the structural certificates they give.
+//
+// A place invariant is a rational vector y >= 0 with  y^T * C = 0  for the
+// incidence matrix C (places x transitions).  The token count y^T * M is
+// then constant over all reachable markings, which yields reachability-free
+// certificates:
+//   * a place covered by an invariant with y^T * M0 = 1 and unit weight is
+//     structurally 1-safe;
+//   * transitions consuming from an uncovered place may be unboundedly
+//     enabled or dead.
+// The benchmark generators produce free-choice nets where invariant cover
+// equals safeness, which the tests pin against the explicit token game.
+
+#include <cstdint>
+#include <vector>
+
+#include "stg/stg.hpp"
+
+namespace sitm {
+
+/// Sparse rational vector over places (weights are kept integral by
+/// clearing denominators).
+struct PlaceInvariant {
+  std::vector<long> weights;  ///< one entry per place (>= 0)
+  long token_sum = 0;         ///< y^T * M0
+
+  bool covers(PlaceId p) const {
+    return weights[static_cast<std::size_t>(p)] > 0;
+  }
+};
+
+/// Incidence matrix entry C[p][t] = post(t,p) - pre(t,p).
+std::vector<std::vector<int>> incidence_matrix(const Stg& stg);
+
+/// A basis of non-negative place invariants (computed by Farkas-style
+/// elimination, pruned to minimal support; exponential worst case, fine at
+/// controller sizes).
+std::vector<PlaceInvariant> place_invariants(const Stg& stg);
+
+/// True if every place is covered by an invariant with token sum 1 and unit
+/// weights — a structural certificate of 1-safeness.
+bool structurally_safe(const Stg& stg);
+
+}  // namespace sitm

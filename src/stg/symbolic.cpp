@@ -1,0 +1,101 @@
+#include "stg/symbolic.hpp"
+
+#include "util/error.hpp"
+
+namespace sitm {
+
+SymbolicReachability symbolic_reachability(const Stg& stg) {
+  const int places = static_cast<int>(stg.num_places());
+  if (places > 64) throw Error("symbolic_reachability: more than 64 places");
+  if (stg.initial_marking().empty())
+    throw Error("symbolic_reachability: empty initial marking");
+
+  BddManager mgr(places);
+
+  // Initial marking as a minterm over place variables.
+  BddRef reached = mgr.bdd_true();
+  {
+    DynBitset marked(static_cast<std::size_t>(places));
+    for (PlaceId p : stg.initial_marking())
+      marked.set(static_cast<std::size_t>(p));
+    for (int p = 0; p < places; ++p)
+      reached = mgr.bdd_and(reached, mgr.literal(p, marked.test(
+                                         static_cast<std::size_t>(p))));
+  }
+
+  // Per-transition data: enabling condition, quantification mask and the
+  // post-image constraint.
+  struct TransImage {
+    BddRef enabled;      ///< all pre places marked (and post \ pre empty)
+    std::uint64_t vars;  ///< pre u post variables to quantify
+    BddRef after;        ///< pre \ post empty, post marked
+  };
+  std::vector<TransImage> images;
+  images.reserve(stg.num_transitions());
+  for (TransId t = 0; t < static_cast<TransId>(stg.num_transitions()); ++t) {
+    const auto& pre = stg.pre_places(t);
+    const auto& post = stg.post_places(t);
+    if (pre.empty()) continue;  // unconnected transition: never fires
+    DynBitset pre_set(static_cast<std::size_t>(places));
+    DynBitset post_set(static_cast<std::size_t>(places));
+    for (PlaceId p : pre) pre_set.set(static_cast<std::size_t>(p));
+    for (PlaceId p : post) post_set.set(static_cast<std::size_t>(p));
+
+    TransImage img;
+    img.enabled = mgr.bdd_true();
+    for (PlaceId p : pre) img.enabled = mgr.bdd_and(img.enabled, mgr.literal(p));
+    // 1-safety: firing must not add a token to an already marked place.
+    post_set.for_each([&](std::size_t p) {
+      if (!pre_set.test(p))
+        img.enabled =
+            mgr.bdd_and(img.enabled, mgr.literal(static_cast<int>(p), false));
+    });
+
+    img.vars = 0;
+    (pre_set | post_set).for_each([&](std::size_t p) {
+      img.vars |= std::uint64_t{1} << p;
+    });
+
+    img.after = mgr.bdd_true();
+    pre_set.for_each([&](std::size_t p) {
+      if (!post_set.test(p))
+        img.after =
+            mgr.bdd_and(img.after, mgr.literal(static_cast<int>(p), false));
+    });
+    post_set.for_each([&](std::size_t p) {
+      img.after = mgr.bdd_and(img.after, mgr.literal(static_cast<int>(p)));
+    });
+    images.push_back(img);
+  }
+
+  SymbolicReachability out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.iterations;
+    for (const auto& img : images) {
+      const BddRef firable = mgr.bdd_and(reached, img.enabled);
+      if (firable == mgr.bdd_false()) continue;
+      const BddRef successors =
+          mgr.bdd_and(mgr.exists_mask(firable, img.vars), img.after);
+      const BddRef next = mgr.bdd_or(reached, successors);
+      if (next != reached) {
+        reached = next;
+        changed = true;
+      }
+    }
+  }
+
+  out.num_markings = mgr.sat_count(reached);
+  out.bdd_size = mgr.dag_size(reached);
+
+  // Deadlock: a reachable marking enabling nothing.
+  BddRef any_enabled = mgr.bdd_false();
+  for (const auto& img : images)
+    any_enabled = mgr.bdd_or(any_enabled, img.enabled);
+  out.has_deadlock =
+      mgr.bdd_and(reached, mgr.bdd_not(any_enabled)) != mgr.bdd_false();
+  return out;
+}
+
+}  // namespace sitm

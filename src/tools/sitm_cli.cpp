@@ -1,0 +1,212 @@
+// sitm — command-line driver for the technology mapping flow.
+//
+//   sitm info   <file.g|file.sg>           specification statistics & checks
+//   sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] [--eqn out.eqn]
+//                                          CSC-resolve (if needed) + map
+//   sitm verify <file>                     synthesize + gate-level SI check
+//   sitm bench  <name|list>                dump a suite benchmark as .g
+//
+// Files ending in ".sg" are parsed as State Graphs, everything else as
+// astg ".g" Signal Transition Graphs.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "benchlib/suite.hpp"
+#include "core/csc.hpp"
+#include "core/mapper.hpp"
+#include "core/mc_cover.hpp"
+#include "netlist/si_verify.hpp"
+#include "netlist/tech_decomp.hpp"
+#include "netlist/writers.hpp"
+#include "sg/properties.hpp"
+#include "sg/sg_io.hpp"
+#include "stg/g_io.hpp"
+#include "stg/symbolic.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace sitm;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  sitm info   <file.g|file.sg>\n"
+               "  sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] "
+               "[--eqn out.eqn]\n"
+               "  sitm verify <file>\n"
+               "  sitm bench  <name|list>\n");
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Load either format into an SG (plus the name).
+StateGraph load(const std::string& path, std::string* name) {
+  const std::string text = slurp(path);
+  if (ends_with(path, ".sg")) return read_sg_string(text, name);
+  const Stg stg = read_g_string(text, name);
+  return stg.to_state_graph();
+}
+
+int cmd_info(const std::string& path) {
+  std::string name = "spec";
+  const std::string text = slurp(path);
+  if (!ends_with(path, ".sg")) {
+    const Stg stg = read_g_string(text, &name);
+    const auto sym = symbolic_reachability(stg);
+    std::printf("%s: %zu transitions, %zu places, %.0f reachable markings "
+                "(%d symbolic iterations)%s\n",
+                name.c_str(), stg.num_transitions(), stg.num_places(),
+                sym.num_markings, sym.iterations,
+                sym.has_deadlock ? ", DEADLOCK" : "");
+  }
+  const StateGraph sg =
+      ends_with(path, ".sg") ? read_sg_string(text, &name)
+                             : read_g_string(text).to_state_graph();
+  std::printf("%s: %d signals (%zu inputs), %zu states, %zu arcs\n",
+              name.c_str(), sg.num_signals(), sg.input_signals().size(),
+              sg.num_states(), sg.num_arcs());
+  auto report = [&](const char* what, const PropertyResult& r) {
+    std::printf("  %-20s %s\n", what, r ? "ok" : r.why.c_str());
+  };
+  report("consistency:", check_consistency(sg));
+  report("determinism:", check_determinism(sg));
+  report("commutativity:", check_commutativity(sg));
+  report("output persistency:", check_output_persistency(sg));
+  report("CSC:", check_csc(sg));
+  report("USC:", check_usc(sg));
+  if (check_implementability(sg)) {
+    const Netlist netlist = synthesize_all(sg);
+    std::printf("  unconstrained implementation: %d literals, %d C elements, "
+                "max gate %d literals\n",
+                netlist.total_literals(), netlist.num_c_elements(),
+                netlist.max_gate_complexity());
+  }
+  return 0;
+}
+
+int cmd_map(int argc, char** argv) {
+  std::string path, out_sg, out_v, out_eqn;
+  int max_literals = 2;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-i" && i + 1 < argc) {
+      max_literals = std::atoi(argv[++i]);
+    } else if (arg == "-o" && i + 1 < argc) {
+      out_sg = argv[++i];
+    } else if (arg == "--verilog" && i + 1 < argc) {
+      out_v = argv[++i];
+    } else if (arg == "--eqn" && i + 1 < argc) {
+      out_eqn = argv[++i];
+    } else if (path.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty() || max_literals < 1) return usage();
+
+  std::string name = "spec";
+  StateGraph sg = load(path, &name);
+
+  if (!check_csc(sg)) {
+    std::printf("CSC violated (%d conflict pairs); resolving...\n",
+                count_csc_conflicts(sg));
+    const CscResult resolved = resolve_csc(sg);
+    if (!resolved.resolved) {
+      std::fprintf(stderr, "CSC resolution failed: %s\n",
+                   resolved.failure.c_str());
+      return 1;
+    }
+    std::printf("inserted %d state signal(s)\n", resolved.signals_inserted);
+    sg = *resolved.sg;
+  }
+
+  MapperOptions opts;
+  opts.library.max_literals = max_literals;
+  const MapResult result = technology_map(sg, opts);
+  if (!result.implementable) {
+    std::fprintf(stderr, "not implementable with %d-literal gates: %s\n",
+                 max_literals, result.failure.c_str());
+    return 1;
+  }
+  const Netlist netlist = result.build_netlist();
+  std::printf("mapped onto <=%d-literal gates: %d inserted signal(s), "
+              "%d literals, %d C elements\n%s",
+              max_literals, result.signals_inserted, netlist.total_literals(),
+              netlist.num_c_elements(), netlist.to_string().c_str());
+
+  const SiVerifyResult verify = verify_speed_independence(netlist);
+  std::printf("gate-level SI verification: %s\n",
+              verify.ok ? "PASS" : verify.why.c_str());
+
+  auto dump = [&](const std::string& file, const std::string& content) {
+    std::ofstream out(file);
+    if (!out) throw Error("cannot write " + file);
+    out << content;
+    std::printf("wrote %s\n", file.c_str());
+  };
+  if (!out_sg.empty()) dump(out_sg, write_sg_string(*result.sg, name));
+  if (!out_v.empty()) dump(out_v, write_verilog_string(netlist, name));
+  if (!out_eqn.empty()) dump(out_eqn, write_eqn_string(netlist, name));
+  return verify.ok ? 0 : 1;
+}
+
+int cmd_verify(const std::string& path) {
+  std::string name;
+  const StateGraph sg = load(path, &name);
+  if (auto r = check_implementability(sg); !r) {
+    std::printf("specification not implementable: %s\n", r.why.c_str());
+    return 1;
+  }
+  const Netlist netlist = synthesize_all(sg);
+  const SiVerifyResult verify = verify_speed_independence(netlist);
+  std::printf("%s: %s (%zu composite states)\n", path.c_str(),
+              verify.ok ? "speed-independent" : verify.why.c_str(),
+              verify.num_states);
+  return verify.ok ? 0 : 1;
+}
+
+int cmd_bench(const std::string& which) {
+  if (which == "list") {
+    for (const auto& name : bench::suite_names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  const auto entry = bench::suite_benchmark(which);
+  std::cout << write_g_string(entry.stg, entry.name);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info(argv[2]);
+    if (cmd == "map") return cmd_map(argc, argv);
+    if (cmd == "verify") return cmd_verify(argv[2]);
+    if (cmd == "bench") return cmd_bench(argv[2]);
+  } catch (const sitm::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,20 @@
+#pragma once
+// Error type shared by all sitm libraries.
+//
+// Library code throws sitm::Error for user-visible failures (malformed input
+// files, specification property violations, unsupported sizes).  Internal
+// logic errors use assertions.
+
+#include <stdexcept>
+#include <string>
+
+namespace sitm {
+
+/// Exception thrown on user-visible failures (bad input, violated
+/// preconditions of the synthesis flow, capacity limits).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace sitm

@@ -1,0 +1,152 @@
+// Unit tests for the ROBDD package, including cross-checks against the
+// explicit cover algebra.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "boolf/cover.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sitm {
+namespace {
+
+TEST(Bdd, Constants) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_false()), mgr.bdd_true());
+  EXPECT_EQ(mgr.bdd_and(mgr.bdd_true(), mgr.bdd_false()), mgr.bdd_false());
+  EXPECT_EQ(mgr.bdd_or(mgr.bdd_true(), mgr.bdd_false()), mgr.bdd_true());
+}
+
+TEST(Bdd, LiteralEval) {
+  BddManager mgr(3);
+  const BddRef a = mgr.literal(0);
+  const BddRef nb = mgr.literal(1, false);
+  EXPECT_TRUE(mgr.eval(a, 0b001));
+  EXPECT_FALSE(mgr.eval(a, 0b110));
+  EXPECT_TRUE(mgr.eval(nb, 0b001));
+  EXPECT_FALSE(mgr.eval(nb, 0b010));
+}
+
+TEST(Bdd, Canonicity) {
+  BddManager mgr(4);
+  const BddRef a = mgr.literal(0), b = mgr.literal(1);
+  // (a & b) | (b & a) built two ways yields the same node.
+  EXPECT_EQ(mgr.bdd_and(a, b), mgr.bdd_and(b, a));
+  const BddRef f = mgr.bdd_or(mgr.bdd_and(a, b), mgr.bdd_not(mgr.bdd_or(
+                                                     mgr.bdd_not(a), mgr.bdd_not(b))));
+  EXPECT_EQ(f, mgr.bdd_and(a, b));
+  // Idempotence / double negation.
+  EXPECT_EQ(mgr.bdd_not(mgr.bdd_not(f)), f);
+}
+
+TEST(Bdd, XorSatCount) {
+  BddManager mgr(2);
+  const BddRef x = mgr.bdd_xor(mgr.literal(0), mgr.literal(1));
+  EXPECT_DOUBLE_EQ(mgr.sat_count(x), 2.0);
+  EXPECT_TRUE(mgr.eval(x, 0b01));
+  EXPECT_TRUE(mgr.eval(x, 0b10));
+  EXPECT_FALSE(mgr.eval(x, 0b00));
+  EXPECT_FALSE(mgr.eval(x, 0b11));
+}
+
+TEST(Bdd, CofactorQuantify) {
+  BddManager mgr(3);
+  const BddRef a = mgr.literal(0), b = mgr.literal(1), c = mgr.literal(2);
+  const BddRef f = mgr.bdd_or(mgr.bdd_and(a, b), c);
+  EXPECT_EQ(mgr.cofactor(f, 2, true), mgr.bdd_true());
+  EXPECT_EQ(mgr.cofactor(f, 2, false), mgr.bdd_and(a, b));
+  EXPECT_EQ(mgr.exists(f, 2), mgr.bdd_true());
+  EXPECT_EQ(mgr.forall(f, 2), mgr.bdd_and(a, b));
+  EXPECT_EQ(mgr.exists_mask(f, 0b110), mgr.bdd_true());
+}
+
+TEST(Bdd, Compose) {
+  BddManager mgr(3);
+  const BddRef a = mgr.literal(0), b = mgr.literal(1), c = mgr.literal(2);
+  // substitute c := a&b inside f = c | a  ->  a&b | a = a
+  const BddRef f = mgr.bdd_or(c, a);
+  EXPECT_EQ(mgr.compose(f, 2, mgr.bdd_and(a, b)), a);
+}
+
+TEST(Bdd, PickOne) {
+  BddManager mgr(3);
+  const BddRef f = mgr.bdd_and(mgr.literal(0), mgr.literal(2, false));
+  std::uint64_t assignment = 0;
+  ASSERT_TRUE(mgr.pick_one(f, &assignment));
+  EXPECT_TRUE(mgr.eval(f, assignment));
+  EXPECT_FALSE(mgr.pick_one(mgr.bdd_false(), &assignment));
+}
+
+TEST(Bdd, DagSize) {
+  BddManager mgr(2);
+  EXPECT_EQ(mgr.dag_size(mgr.bdd_true()), 1u);
+  const BddRef x = mgr.bdd_xor(mgr.literal(0), mgr.literal(1));
+  // 2 terminals + 1 node for var1 pos/neg... canonical XOR has 2 internal
+  // nodes sharing both terminals: {x0-node, x1-node, T, F} minus sharing.
+  EXPECT_EQ(mgr.dag_size(x), 5u);  // x0, two x1 branches, T, F
+}
+
+TEST(Bdd, FromToCoverRoundTrip) {
+  Rng rng(11);
+  BddManager mgr(5);
+  for (int round = 0; round < 40; ++round) {
+    Cover f(5);
+    const int terms = 1 + static_cast<int>(rng.below(4));
+    for (int t = 0; t < terms; ++t) {
+      Cube c = Cube::one();
+      for (int v = 0; v < 5; ++v) {
+        const auto r = rng.below(3);
+        if (r == 0) c = c.with_literal(v, false);
+        if (r == 1) c = c.with_literal(v, true);
+      }
+      f.add(c);
+    }
+    const BddRef ref = mgr.from_cover(f);
+    for (std::uint64_t code = 0; code < 32; ++code)
+      EXPECT_EQ(mgr.eval(ref, code), f.eval(code));
+    const Cover back = mgr.to_cover(ref);
+    for (std::uint64_t code = 0; code < 32; ++code)
+      EXPECT_EQ(back.eval(code), f.eval(code));
+  }
+}
+
+TEST(Bdd, AgreesWithCoverComplement) {
+  Rng rng(23);
+  BddManager mgr(4);
+  for (int round = 0; round < 30; ++round) {
+    Cover f(4);
+    for (int t = 0; t < 3; ++t) {
+      Cube c = Cube::one();
+      for (int v = 0; v < 4; ++v) {
+        const auto r = rng.below(3);
+        if (r == 0) c = c.with_literal(v, false);
+        if (r == 1) c = c.with_literal(v, true);
+      }
+      f.add(c);
+    }
+    const BddRef nf = mgr.bdd_not(mgr.from_cover(f));
+    const Cover fc = f.complement();
+    for (std::uint64_t code = 0; code < 16; ++code)
+      EXPECT_EQ(mgr.eval(nf, code), fc.eval(code));
+  }
+}
+
+TEST(Bdd, BadVarThrows) {
+  BddManager mgr(2);
+  EXPECT_THROW(mgr.literal(2), Error);
+  EXPECT_THROW(mgr.literal(-1), Error);
+  EXPECT_THROW(BddManager(65), Error);
+}
+
+TEST(Bdd, SharingKeepsNodeCountLinear) {
+  // sum-of-independent-products a0&a1 | a2&a3 | ... has linear BDD size.
+  BddManager mgr(12);
+  BddRef f = mgr.bdd_false();
+  for (int i = 0; i < 12; i += 2)
+    f = mgr.bdd_or(f, mgr.bdd_and(mgr.literal(i), mgr.literal(i + 1)));
+  EXPECT_LT(mgr.dag_size(f), 24u);
+}
+
+}  // namespace
+}  // namespace sitm

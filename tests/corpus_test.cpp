@@ -1,0 +1,58 @@
+// Loads every .g file shipped in data/benchmarks from disk — exercises the
+// real file path of the parsers and pins the corpus to the generators.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "benchlib/suite.hpp"
+#include "sg/properties.hpp"
+#include "stg/g_io.hpp"
+
+#ifndef SITM_SOURCE_DIR
+#define SITM_SOURCE_DIR "."
+#endif
+
+namespace sitm {
+namespace {
+
+std::filesystem::path corpus_dir() {
+  return std::filesystem::path(SITM_SOURCE_DIR) / "data" / "benchmarks";
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Corpus, DirectoryComplete) {
+  int count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir()))
+    if (entry.path().extension() == ".g") ++count;
+  EXPECT_EQ(count, 32);
+}
+
+TEST(Corpus, EveryFileParsesAndMatchesGenerator) {
+  for (const auto& name : bench::suite_names()) {
+    const auto path = corpus_dir() / (name + ".g");
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    std::string model;
+    const Stg from_file = read_g_string(slurp(path), &model);
+    EXPECT_EQ(model, name);
+
+    const auto entry = bench::suite_benchmark(name);
+    const StateGraph disk_sg = from_file.to_state_graph();
+    const StateGraph gen_sg = entry.stg.to_state_graph();
+    EXPECT_EQ(disk_sg.num_states(), gen_sg.num_states()) << name;
+    EXPECT_EQ(disk_sg.num_arcs(), gen_sg.num_arcs()) << name;
+    EXPECT_TRUE(check_implementability(disk_sg)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sitm

@@ -1,0 +1,120 @@
+// Tests for structural STG analysis: incidence matrices, place invariants,
+// and the structural 1-safeness certificate.
+
+#include <gtest/gtest.h>
+
+#include "benchlib/generators.hpp"
+#include "benchlib/suite.hpp"
+#include "stg/structure.hpp"
+#include "stg/stg.hpp"
+
+namespace sitm {
+namespace {
+
+Stg handshake_stg() {
+  Stg stg;
+  const int r = stg.add_signal("r", SignalKind::kInput);
+  const int a = stg.add_signal("a", SignalKind::kOutput);
+  const TransId rp = stg.add_transition(r, true);
+  const TransId ap = stg.add_transition(a, true);
+  const TransId rm = stg.add_transition(r, false);
+  const TransId am = stg.add_transition(a, false);
+  stg.connect_tt(rp, ap);
+  stg.connect_tt(ap, rm);
+  stg.connect_tt(rm, am);
+  stg.mark_initial(stg.connect_tt(am, rp));
+  return stg;
+}
+
+TEST(Structure, IncidenceMatrixShape) {
+  const Stg stg = handshake_stg();
+  const auto c = incidence_matrix(stg);
+  ASSERT_EQ(c.size(), stg.num_places());
+  for (const auto& row : c) {
+    ASSERT_EQ(row.size(), stg.num_transitions());
+    // Every place of a cycle has one producer and one consumer.
+    int sum = 0, nonzero = 0;
+    for (int v : row) {
+      sum += v;
+      if (v != 0) ++nonzero;
+    }
+    EXPECT_EQ(sum, 0);
+    EXPECT_EQ(nonzero, 2);
+  }
+}
+
+TEST(Structure, HandshakeCycleInvariant) {
+  const Stg stg = handshake_stg();
+  const auto invariants = place_invariants(stg);
+  ASSERT_FALSE(invariants.empty());
+  // The ring is one token circulating: an all-ones invariant with sum 1.
+  bool found_ring = false;
+  for (const auto& inv : invariants) {
+    const bool all_ones = std::all_of(inv.weights.begin(), inv.weights.end(),
+                                      [](long w) { return w == 1; });
+    if (all_ones) {
+      found_ring = true;
+      EXPECT_EQ(inv.token_sum, 1);
+    }
+  }
+  EXPECT_TRUE(found_ring);
+  EXPECT_TRUE(structurally_safe(stg));
+}
+
+TEST(Structure, InvariantsAreFlows) {
+  // y^T * C == 0 for every reported invariant, on several families.
+  for (const Stg& stg :
+       {bench::make_pipeline(2), bench::make_parallelizer(3),
+        bench::make_seq_chain(3), bench::make_choice_mixer(2),
+        bench::make_hazard()}) {
+    const auto c = incidence_matrix(stg);
+    for (const auto& inv : place_invariants(stg)) {
+      for (std::size_t t = 0; t < stg.num_transitions(); ++t) {
+        long dot = 0;
+        for (std::size_t p = 0; p < stg.num_places(); ++p)
+          dot += inv.weights[p] * c[p][t];
+        EXPECT_EQ(dot, 0);
+      }
+      // Non-negative and non-trivial.
+      long sum = 0;
+      for (long w : inv.weights) {
+        EXPECT_GE(w, 0);
+        sum += w;
+      }
+      EXPECT_GT(sum, 0);
+    }
+  }
+}
+
+TEST(Structure, SuiteIsStructurallySafe) {
+  for (auto& entry : bench::table1_suite()) {
+    EXPECT_TRUE(structurally_safe(entry.stg)) << entry.name;
+  }
+}
+
+TEST(Structure, UnsafeNetHasNoUnitCertificate) {
+  // A place with a producer but no consumer accumulates tokens: it cannot
+  // be covered by a sum-1 unit invariant.
+  Stg stg;
+  const int a = stg.add_signal("a", SignalKind::kOutput);
+  const TransId ap = stg.add_transition(a, true);
+  const TransId am = stg.add_transition(a, false);
+  stg.connect_tt(ap, am);
+  stg.mark_initial(stg.connect_tt(am, ap));
+  const PlaceId sink = stg.add_place("sink");
+  stg.connect_tp(ap, sink);  // tokens pile up here
+  EXPECT_FALSE(structurally_safe(stg));
+}
+
+TEST(Structure, TokenSumMatchesInitialMarking) {
+  const Stg stg = bench::make_choice_mixer(2);
+  for (const auto& inv : place_invariants(stg)) {
+    long sum = 0;
+    for (PlaceId p : stg.initial_marking())
+      sum += inv.weights[static_cast<std::size_t>(p)];
+    EXPECT_EQ(sum, inv.token_sum);
+  }
+}
+
+}  // namespace
+}  // namespace sitm
