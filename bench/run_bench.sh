@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the scaling benchmark into BENCH_scaling.json so successive PRs leave a
+# comparable perf trajectory.  Usage:
+#
+#   bench/run_bench.sh [build-dir] [extra google-benchmark args...]
+#
+# Builds the bench target if needed, then overwrites BENCH_scaling.json at
+# the repository root.  Compare two checkouts with e.g.:
+#
+#   jq -r '.benchmarks[] | "\(.name) \(.real_time)"' BENCH_scaling.json
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+if [[ ! -d "$build_dir" ]]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" --target bench_scaling -j"$(nproc)"
+
+"$build_dir/bench_scaling" \
+  --benchmark_format=console \
+  --benchmark_out="$repo_root/BENCH_scaling.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $repo_root/BENCH_scaling.json"

@@ -1,0 +1,14 @@
+.model chu133
+.inputs r
+.outputs o0 o1 a
+.graph
+r+ o0+
+r- o0-
+a+ r-
+a- r+
+o0+ o1+
+o1+ a+
+o0- o1-
+o1- a-
+.marking { <a-,r+> }
+.end

@@ -1,0 +1,14 @@
+.model converta
+.inputs r0
+.outputs a0 r1 a1
+.graph
+r0+ r1+
+r0- r1-
+a0+ r0-
+a0- r0+
+r1+ a1+
+r1- a1-
+a1+ a0+
+a1- a0-
+.marking { <a0-,r0+> }
+.end

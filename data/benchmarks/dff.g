@@ -1,0 +1,16 @@
+.model dff
+.inputs r
+.outputs o0 o1 o2 a
+.graph
+r+ o0+
+r- o0-
+a+ r-
+a- r+
+o0+ o1+
+o1+ o2+
+o2+ a+
+o0- o1-
+o1- o2-
+o2- a-
+.marking { <a-,r+> }
+.end

@@ -1,0 +1,18 @@
+.model ebergen
+.inputs r0
+.outputs a0 r1 a1 r2 a2
+.graph
+r0+ r1+
+r0- r1-
+a0+ r0-
+a0- r0+
+r1+ r2+
+r1- r2-
+a1+ a0+
+a1- a0-
+r2+ a2+
+r2- a2-
+a2+ a1+
+a2- a1-
+.marking { <a0-,r0+> }
+.end

@@ -1,0 +1,14 @@
+.model half
+.inputs r
+.outputs g0 g1 d
+.graph
+r+ g0+ g1+
+r- g0- g1-
+d+ r-
+d- r+
+g0+ d+
+g0- d-
+g1+ d+
+g1- d-
+.marking { <d-,r+> }
+.end

@@ -1,0 +1,14 @@
+.model hazard
+.inputs a d
+.outputs c x
+.graph
+a+ c+
+a- x+
+d+ x+
+d- x-
+c+ a-
+c- d-
+x+ c-
+x- a+ d+
+.marking { <x-,a+> <x-,d+> }
+.end

@@ -1,0 +1,27 @@
+.model mmu
+.inputs ra rb
+.outputs g0 g1 g2 g3 o0 o1 d
+.graph
+ra+ g0+ g1+ g2+ g3+
+ra- g0- g1- g2- g3-
+d+ ra-
+g0+ d+
+g0- d-
+g1+ d+
+g1- d-
+g2+ d+
+g2- d-
+g3+ d+
+g3- d-
+rb+ o0+
+rb- o0-
+d+/2 rb-
+o0+ o1+
+o1+ d+/2
+o0- o1-
+o1- d-/2
+d- idle
+d-/2 idle
+idle ra+ rb+
+.marking { idle }
+.end

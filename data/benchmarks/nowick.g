@@ -1,0 +1,19 @@
+.model nowick
+.inputs r0 r1 r2
+.outputs a
+.graph
+r0+ a+
+r0- a-
+a+ r0-
+r1+ a+/2
+r1- a-/2
+a+/2 r1-
+r2+ a+/3
+r2- a-/3
+a+/3 r2-
+a- idle
+a-/2 idle
+a-/3 idle
+idle r0+ r1+ r2+
+.marking { idle }
+.end

@@ -1,0 +1,31 @@
+.model pe-rcv-ifc
+.inputs r0 r1 r2 r3
+.outputs z a0 a1 a2 a3
+.graph
+r0+ z+
+r0- z-
+z+ a0+
+z- a0-
+a0+ r0-
+r1+ z+/2
+r1- z-/2
+z+/2 a1+
+z-/2 a1-
+a1+ r1-
+r2+ z+/3
+r2- z-/3
+z+/3 a2+
+z-/3 a2-
+a2+ r2-
+r3+ z+/4
+r3- z-/4
+z+/4 a3+
+z-/4 a3-
+a3+ r3-
+a0- idle
+a1- idle
+a2- idle
+a3- idle
+idle r0+ r1+ r2+ r3+
+.marking { idle }
+.end

@@ -1,0 +1,22 @@
+.model pe-send-ifc
+.inputs r
+.outputs g0 g1 g2 g3 g4 g5 d
+.graph
+r+ g0+ g1+ g2+ g3+ g4+ g5+
+r- g0- g1- g2- g3- g4- g5-
+d+ r-
+d- r+
+g0+ d+
+g0- d-
+g1+ d+
+g1- d-
+g2+ d+
+g2- d-
+g3+ d+
+g3- d-
+g4+ d+
+g4- d-
+g5+ d+
+g5- d-
+.marking { <d-,r+> }
+.end

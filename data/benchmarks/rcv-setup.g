@@ -1,0 +1,15 @@
+.model rcv-setup
+.inputs r0 r1
+.outputs a
+.graph
+r0+ a+
+r0- a-
+a+ r0-
+r1+ a+/2
+r1- a-/2
+a+/2 r1-
+a- idle
+a-/2 idle
+idle r0+ r1+
+.marking { idle }
+.end

@@ -1,0 +1,25 @@
+.model sbuf-ram-write
+.inputs ra rb
+.outputs g0 g1 o0 o1 o2 d
+.graph
+ra+ g0+ g1+
+ra- g0- g1-
+d+ ra-
+g0+ d+
+g0- d-
+g1+ d+
+g1- d-
+rb+ o0+
+rb- o0-
+d+/2 rb-
+o0+ o1+
+o1+ o2+
+o2+ d+/2
+o0- o1-
+o1- o2-
+o2- d-/2
+d- idle
+d-/2 idle
+idle ra+ rb+
+.marking { idle }
+.end

@@ -1,0 +1,18 @@
+.model sbuf-send-ctl
+.inputs r
+.outputs o0 o1 o2 o3 a
+.graph
+r+ o0+
+r- o0-
+a+ r-
+a- r+
+o0+ o1+
+o1+ o2+
+o2+ o3+
+o3+ a+
+o0- o1-
+o1- o2-
+o2- o3-
+o3- a-
+.marking { <a-,r+> }
+.end

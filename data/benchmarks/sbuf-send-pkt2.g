@@ -1,0 +1,25 @@
+.model sbuf-send-pkt2
+.inputs r0 r1 r2
+.outputs z a0 a1 a2
+.graph
+r0+ z+
+r0- z-
+z+ a0+
+z- a0-
+a0+ r0-
+r1+ z+/2
+r1- z-/2
+z+/2 a1+
+z-/2 a1-
+a1+ r1-
+r2+ z+/3
+r2- z-/3
+z+/3 a2+
+z-/3 a2-
+a2+ r2-
+a0- idle
+a1- idle
+a2- idle
+idle r0+ r1+ r2+
+.marking { idle }
+.end

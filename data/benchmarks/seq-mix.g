@@ -1,0 +1,27 @@
+.model seq-mix
+.inputs ra rb
+.outputs g0 g1 o0 o1 o2 o3 d
+.graph
+ra+ g0+ g1+
+ra- g0- g1-
+d+ ra-
+g0+ d+
+g0- d-
+g1+ d+
+g1- d-
+rb+ o0+
+rb- o0-
+d+/2 rb-
+o0+ o1+
+o1+ o2+
+o2+ o3+
+o3+ d+/2
+o0- o1-
+o1- o2-
+o2- o3-
+o3- d-/2
+d- idle
+d-/2 idle
+idle ra+ rb+
+.marking { idle }
+.end

@@ -1,0 +1,25 @@
+.model trimos-send
+.inputs ra rb
+.outputs g0 g1 g2 o0 o1 d
+.graph
+ra+ g0+ g1+ g2+
+ra- g0- g1- g2-
+d+ ra-
+g0+ d+
+g0- d-
+g1+ d+
+g1- d-
+g2+ d+
+g2- d-
+rb+ o0+
+rb- o0-
+d+/2 rb-
+o0+ o1+
+o1+ d+/2
+o0- o1-
+o1- d-/2
+d- idle
+d-/2 idle
+idle ra+ rb+
+.marking { idle }
+.end

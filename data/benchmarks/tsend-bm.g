@@ -1,0 +1,20 @@
+.model tsend-bm
+.inputs r
+.outputs g0 g1 g2 g3 g4 d
+.graph
+r+ g0+ g1+ g2+ g3+ g4+
+r- g0- g1- g2- g3- g4-
+d+ r-
+d- r+
+g0+ d+
+g0- d-
+g1+ d+
+g1- d-
+g2+ d+
+g2- d-
+g3+ d+
+g3- d-
+g4+ d+
+g4- d-
+.marking { <d-,r+> }
+.end

@@ -1,0 +1,16 @@
+.model vbe5b
+.inputs r
+.outputs g0 g1 g2 d
+.graph
+r+ g0+ g1+ g2+
+r- g0- g1- g2-
+d+ r-
+d- r+
+g0+ d+
+g0- d-
+g1+ d+
+g1- d-
+g2+ d+
+g2- d-
+.marking { <d-,r+> }
+.end

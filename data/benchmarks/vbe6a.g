@@ -1,0 +1,19 @@
+.model vbe6a
+.inputs r0 r1
+.outputs z a0 a1
+.graph
+r0+ z+
+r0- z-
+z+ a0+
+z- a0-
+a0+ r0-
+r1+ z+/2
+r1- z-/2
+z+/2 a1+
+z-/2 a1-
+a1+ r1-
+a0- idle
+a1- idle
+idle r0+ r1+
+.marking { idle }
+.end

@@ -3,23 +3,57 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/flat_map.hpp"
 
 namespace sitm {
+
+namespace {
+constexpr std::size_t kInitialUnique = 1u << 10;
+/// Fixed computed-cache size: 2^15 entries (512 KiB).  Lossy by design —
+/// a collision overwrites — so this bounds memory for arbitrarily long
+/// operation sequences while still capturing the recursion locality of ITE.
+constexpr std::size_t kComputedSize = 1u << 15;
+}  // namespace
 
 BddManager::BddManager(int num_vars) : num_vars_(num_vars) {
   if (num_vars < 0 || num_vars > 64) throw Error("BddManager: 0..64 variables");
   nodes_.push_back(Node{num_vars_, kFalse, kFalse});  // 0 = FALSE
   nodes_.push_back(Node{num_vars_, kTrue, kTrue});    // 1 = TRUE
+  unique_.assign(kInitialUnique, UniqueSlot{});
+  unique_mask_ = kInitialUnique - 1;
+  computed_.assign(kComputedSize, IteSlot{});
+  computed_mask_ = kComputedSize - 1;
+}
+
+void BddManager::grow_unique() {
+  std::vector<UniqueSlot> old = std::move(unique_);
+  unique_.assign(old.size() * 2, UniqueSlot{});
+  unique_mask_ = unique_.size() - 1;
+  for (const UniqueSlot& slot : old) {
+    if (slot.ref == kEmptySlot) continue;
+    std::size_t i = hash_node(slot.var, slot.low, slot.high) & unique_mask_;
+    while (unique_[i].ref != kEmptySlot) i = (i + 1) & unique_mask_;
+    unique_[i] = slot;
+  }
 }
 
 BddRef BddManager::make(int var, BddRef low, BddRef high) {
   if (low == high) return low;
-  const NodeKey key{var, low, high};
-  auto [it, inserted] = unique_.emplace(key, 0);
-  if (!inserted) return it->second;
-  nodes_.push_back(Node{var, low, high});
-  it->second = static_cast<BddRef>(nodes_.size() - 1);
-  return it->second;
+  // Grow at ~70% load so linear probes stay short.
+  if ((nodes_.size() + 1) * 10 >= unique_.size() * 7) grow_unique();
+  std::size_t i = hash_node(var, low, high) & unique_mask_;
+  while (true) {
+    UniqueSlot& slot = unique_[i];
+    if (slot.ref == kEmptySlot) {
+      const BddRef ref = static_cast<BddRef>(nodes_.size());
+      nodes_.push_back(Node{var, low, high});
+      slot = UniqueSlot{var, low, high, ref};
+      return ref;
+    }
+    if (slot.var == var && slot.low == low && slot.high == high)
+      return slot.ref;
+    i = (i + 1) & unique_mask_;
+  }
 }
 
 BddRef BddManager::literal(int v, bool positive) {
@@ -34,8 +68,8 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
 
-  const IteKey key{f, g, h};
-  if (auto it = computed_.find(key); it != computed_.end()) return it->second;
+  IteSlot& cache = computed_[hash_ite(f, g, h) & computed_mask_];
+  if (cache.f == f && cache.g == g && cache.h == h) return cache.result;
 
   const int vf = nodes_[f].var;
   const int vg = nodes_[g].var;
@@ -52,7 +86,9 @@ BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
   const BddRef low = ite(f0, g0, h0);
   const BddRef high = ite(f1, g1, h1);
   const BddRef result = make(top, low, high);
-  computed_.emplace(key, result);
+  // `cache` stays valid across the recursion (the table never resizes);
+  // whatever the recursive calls wrote there loses the slot to this entry.
+  cache = IteSlot{f, g, h, result};
   return result;
 }
 
@@ -96,12 +132,12 @@ bool BddManager::eval(BddRef f, std::uint64_t assignment) const {
 }
 
 double BddManager::sat_count(BddRef f) {
-  std::unordered_map<BddRef, double> memo;
+  FlatMap<BddRef, double> memo;
   // fractional count: fraction of assignments satisfying f
   auto rec = [&](auto&& self, BddRef node) -> double {
     if (node == kFalse) return 0.0;
     if (node == kTrue) return 1.0;
-    if (auto it = memo.find(node); it != memo.end()) return it->second;
+    if (const double* hit = memo.find(node)) return *hit;
     const double r =
         0.5 * self(self, nodes_[node].low) + 0.5 * self(self, nodes_[node].high);
     memo.emplace(node, r);
@@ -130,7 +166,7 @@ bool BddManager::pick_one(BddRef f, std::uint64_t* assignment) const {
 
 std::size_t BddManager::dag_size(BddRef f) const {
   std::vector<BddRef> stack{f};
-  std::unordered_map<BddRef, char> seen;
+  FlatMap<BddRef, char> seen;
   std::size_t n = 0;
   while (!stack.empty()) {
     const BddRef node = stack.back();

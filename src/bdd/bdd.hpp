@@ -10,10 +10,16 @@
 // Node 0 is the constant FALSE, node 1 the constant TRUE.  Variables are
 // ordered by their index (no dynamic reordering; specifications here have at
 // most a few dozen variables).
+//
+// Both hash tables follow the classic package design instead of generic
+// containers: the unique table is an open-addressing power-of-two table
+// whose slots hold the (var, low, high) key inline (one cache line probe,
+// no node allocation), and the ITE cache is a bounded direct-mapped lossy
+// cache — colliding entries simply overwrite, which caps memory and matches
+// how production BDD packages (CUDD, BuDDy) behave.
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "boolf/cover.hpp"
@@ -82,36 +88,41 @@ class BddManager {
 
   BddRef make(int var, BddRef low, BddRef high);
 
-  struct NodeKey {
-    int var;
-    BddRef low, high;
-    bool operator==(const NodeKey&) const = default;
+  static constexpr BddRef kEmptySlot = 0xffffffffu;
+
+  /// Open-addressing unique-table slot: the node key inline plus the node id.
+  struct UniqueSlot {
+    std::int32_t var = 0;
+    BddRef low = 0, high = 0;
+    BddRef ref = kEmptySlot;
   };
-  struct NodeKeyHash {
-    std::size_t operator()(const NodeKey& k) const {
-      std::uint64_t x = (static_cast<std::uint64_t>(k.var) << 1) ^
-                        (static_cast<std::uint64_t>(k.low) << 32) ^ k.high;
-      x *= 0x9e3779b97f4a7c15ULL;
-      return static_cast<std::size_t>(x ^ (x >> 29));
-    }
+  /// Direct-mapped computed-cache entry for ite(f, g, h) = result.
+  struct IteSlot {
+    BddRef f = kEmptySlot, g = 0, h = 0;
+    BddRef result = 0;
   };
-  struct IteKey {
-    BddRef f, g, h;
-    bool operator==(const IteKey&) const = default;
-  };
-  struct IteKeyHash {
-    std::size_t operator()(const IteKey& k) const {
-      std::uint64_t x = (static_cast<std::uint64_t>(k.f) << 40) ^
-                        (static_cast<std::uint64_t>(k.g) << 20) ^ k.h;
-      x *= 0xff51afd7ed558ccdULL;
-      return static_cast<std::size_t>(x ^ (x >> 33));
-    }
-  };
+
+  static std::uint64_t hash_node(std::int32_t var, BddRef low, BddRef high) {
+    std::uint64_t x = (static_cast<std::uint64_t>(var) << 1) ^
+                      (static_cast<std::uint64_t>(low) << 32) ^ high;
+    x *= 0x9e3779b97f4a7c15ULL;
+    return x ^ (x >> 29);
+  }
+  static std::uint64_t hash_ite(BddRef f, BddRef g, BddRef h) {
+    std::uint64_t x = (static_cast<std::uint64_t>(f) << 40) ^
+                      (static_cast<std::uint64_t>(g) << 20) ^ h;
+    x *= 0xff51afd7ed558ccdULL;
+    return x ^ (x >> 33);
+  }
+
+  void grow_unique();
 
   int num_vars_;
   std::vector<Node> nodes_;
-  std::unordered_map<NodeKey, BddRef, NodeKeyHash> unique_;
-  std::unordered_map<IteKey, BddRef, IteKeyHash> computed_;
+  std::vector<UniqueSlot> unique_;
+  std::size_t unique_mask_ = 0;
+  std::vector<IteSlot> computed_;
+  std::size_t computed_mask_ = 0;
 };
 
 }  // namespace sitm

@@ -1,26 +1,50 @@
 #include "core/csc.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "core/insertion.hpp"
 #include "sg/properties.hpp"
 #include "sg/regions.hpp"
 #include "util/error.hpp"
+#include "util/flat_map.hpp"
 
 namespace sitm {
 
 namespace {
 
-/// Bitmask of enabled non-input events of a state (2 bits per signal).
-std::uint64_t output_event_mask(const StateGraph& sg, StateId s) {
-  std::uint64_t mask = 0;
-  for (const auto& e : sg.succs(s)) {
-    if (is_noninput(sg.signal(e.event.signal).kind))
-      mask |= std::uint64_t{1}
-              << (2 * (e.event.signal % 32) + (e.event.rising ? 1 : 0));
+/// Bitmask of the enabled non-input events of a state: 2 bits per signal,
+/// signals 0..31 in `lo`, 32..63 in `hi`.  128 bits cover the full 64-signal
+/// range of a StateGraph — the earlier single-word mask aliased signals 32
+/// apart and could silently miss conflicts on wide specifications.
+struct OutputMask {
+  std::uint64_t lo = 0, hi = 0;
+  bool operator==(const OutputMask&) const = default;
+};
+
+/// One pass over all states caching each state's output-event mask; the
+/// conflict scan then compares cached words instead of re-walking adjacency
+/// lists per state pair.
+std::vector<OutputMask> output_event_masks(const StateGraph& sg) {
+  std::vector<char> noninput(sg.num_signals());
+  for (int i = 0; i < sg.num_signals(); ++i)
+    noninput[i] = is_noninput(sg.signal(i).kind);
+
+  std::vector<OutputMask> masks(sg.num_states());
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    OutputMask m;
+    for (const auto& e : sg.succs(s)) {
+      if (!noninput[e.event.signal]) continue;
+      const std::uint64_t bit =
+          std::uint64_t{1}
+          << (2 * (e.event.signal & 31) + (e.event.rising ? 1 : 0));
+      if (e.event.signal < 32)
+        m.lo |= bit;
+      else
+        m.hi |= bit;
+    }
+    masks[s] = m;
   }
-  return mask;
+  return masks;
 }
 
 struct ConflictInfo {
@@ -31,14 +55,23 @@ struct ConflictInfo {
 
 ConflictInfo csc_conflicts(const StateGraph& sg) {
   ConflictInfo info{0, sg.empty_set()};
-  std::map<StateCode, std::vector<StateId>> by_code;
-  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
-    by_code[sg.code(s)].push_back(s);
-  for (const auto& [code, states] : by_code) {
+  const std::vector<OutputMask> masks = output_event_masks(sg);
+
+  // Group states by binary code.  Groups keep discovery (= state id) order,
+  // and the pair count / involved set are order-independent anyway.
+  FlatMap<std::uint64_t, std::uint32_t> group_of(sg.num_states());
+  std::vector<std::vector<StateId>> groups;
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    auto [slot, inserted] = group_of.emplace(
+        sg.code(s), static_cast<std::uint32_t>(groups.size()));
+    if (inserted) groups.emplace_back();
+    groups[*slot].push_back(s);
+  }
+
+  for (const auto& states : groups) {
     for (std::size_t i = 0; i < states.size(); ++i) {
       for (std::size_t j = i + 1; j < states.size(); ++j) {
-        if (output_event_mask(sg, states[i]) !=
-            output_event_mask(sg, states[j])) {
+        if (!(masks[states[i]] == masks[states[j]])) {
           ++info.pairs;
           info.involved.set(static_cast<std::size_t>(states[i]));
           info.involved.set(static_cast<std::size_t>(states[j]));
@@ -89,17 +122,23 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
 
     // Candidate latches bounded by event pairs.  Events whose switching
     // regions touch the conflict states first — they are the natural
-    // separators.
+    // separators.  One pass over the arcs collects both which events occur
+    // and each event's switching region SR(e) (the states entered by e), so
+    // the candidate loop below never rescans the graph.
+    const auto event_id = [](Event e) { return 2 * e.signal + (e.rising ? 1 : 0); };
+    std::vector<char> occurs(2 * sg.num_signals(), 0);
+    std::vector<DynBitset> region(2 * sg.num_signals(), sg.empty_set());
+    for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+      for (const auto& edge : sg.succs(s)) {
+        occurs[event_id(edge.event)] = 1;
+        region[event_id(edge.event)].set(edge.target);
+      }
+    }
     std::vector<Event> events;
     for (int sig = 0; sig < sg.num_signals(); ++sig)
-      for (bool rising : {true, false}) {
-        const Event e{sig, rising};
-        for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
-          if (sg.enabled(s, e)) {
-            events.push_back(e);
-            break;
-          }
-      }
+      for (bool rising : {true, false})
+        if (occurs[event_id(Event{sig, rising})])
+          events.push_back(Event{sig, rising});
 
     struct Best {
       StateGraph sg;
@@ -116,14 +155,8 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
         ++examined;
 
         // set/reset seeds: the switching regions of the bounding events.
-        DynBitset set_states = sg.empty_set();
-        DynBitset reset_states = sg.empty_set();
-        for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
-          for (const auto& edge : sg.succs(s)) {
-            if (edge.event == e1) set_states.set(edge.target);
-            if (edge.event == e2) reset_states.set(edge.target);
-          }
-        }
+        const DynBitset& set_states = region[event_id(e1)];
+        const DynBitset& reset_states = region[event_id(e2)];
 
         auto plan = plan_state_latch_insertion(sg, set_states, reset_states);
         if (!plan) continue;

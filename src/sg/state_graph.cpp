@@ -19,6 +19,7 @@ StateId StateGraph::add_state(StateCode code) {
   codes_.push_back(code);
   succs_.emplace_back();
   preds_.emplace_back();
+  ev_mask_.push_back({0, 0});
   return static_cast<StateId>(codes_.size()) - 1;
 }
 
@@ -27,6 +28,8 @@ void StateGraph::add_arc(StateId from, Event ev, StateId to) {
     throw Error("StateGraph: arc with unknown signal");
   succs_[from].push_back(Edge{ev, to});
   preds_[to].push_back(Edge{ev, from});
+  const int id = event_id(ev);
+  ev_mask_[from][id >> 6] |= std::uint64_t{1} << (id & 63);
 }
 
 std::size_t StateGraph::num_arcs() const {
@@ -55,13 +58,8 @@ std::vector<int> StateGraph::noninput_signals() const {
   return out;
 }
 
-bool StateGraph::enabled(StateId s, Event e) const {
-  for (const auto& edge : succs_[s])
-    if (edge.event == e) return true;
-  return false;
-}
-
 StateId StateGraph::successor(StateId s, Event e) const {
+  if (!enabled(s, e)) return kNoState;
   for (const auto& edge : succs_[s])
     if (edge.event == e) return edge.target;
   return kNoState;
@@ -137,9 +135,14 @@ std::size_t StateGraph::prune_unreachable() {
   codes_ = std::move(codes);
   succs_ = std::move(succs);
   preds_.assign(codes_.size(), {});
-  for (std::size_t s = 0; s < codes_.size(); ++s)
-    for (const auto& e : succs_[s])
+  ev_mask_.assign(codes_.size(), {0, 0});
+  for (std::size_t s = 0; s < codes_.size(); ++s) {
+    for (const auto& e : succs_[s]) {
       preds_[e.target].push_back(Edge{e.event, static_cast<StateId>(s)});
+      const int id = event_id(e.event);
+      ev_mask_[s][id >> 6] |= std::uint64_t{1} << (id & 63);
+    }
+  }
   initial_ = remap[initial_];
   return removed;
 }

@@ -6,6 +6,7 @@
 // technology mapping flow requires the SG to be consistent, deterministic,
 // commutative and output-persistent, and to satisfy Complete State Coding.
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -78,7 +79,13 @@ class StateGraph {
   const std::vector<Edge>& preds(StateId s) const { return preds_[s]; }
 
   /// True if event `e` is enabled (has an outgoing arc) in state `s`.
-  bool enabled(StateId s, Event e) const;
+  /// O(1): answered from a per-state event bitmap maintained by `add_arc`,
+  /// not by scanning the adjacency list (this is the innermost query of the
+  /// region, CSC and verification loops).
+  bool enabled(StateId s, Event e) const {
+    const int id = event_id(e);
+    return (ev_mask_[s][id >> 6] >> (id & 63)) & 1u;
+  }
   /// Successor of `s` under event `e`, or kNoState.  (Assumes determinism;
   /// returns the first matching arc.)
   StateId successor(StateId s, Event e) const;
@@ -102,10 +109,15 @@ class StateGraph {
   std::size_t prune_unreachable();
 
  private:
+  /// Dense id of an event: 2 bits per signal, 128 bits cover 64 signals.
+  static int event_id(Event e) { return 2 * e.signal + (e.rising ? 1 : 0); }
+
   std::vector<Signal> signals_;
   std::vector<StateCode> codes_;
   std::vector<std::vector<Edge>> succs_;
   std::vector<std::vector<Edge>> preds_;
+  /// Per-state bitmap of enabled events, indexed by `event_id`.
+  std::vector<std::array<std::uint64_t, 2>> ev_mask_;
   StateId initial_ = kNoState;
 };
 

@@ -9,6 +9,7 @@
 
 #include "sg/signal.hpp"
 #include "sg/state_graph.hpp"
+#include "util/flat_map.hpp"
 
 namespace sitm {
 
@@ -70,6 +71,9 @@ class Stg {
   /// "a+" or "a-/2" rendering.
   std::string transition_string(TransId t) const;
 
+  /// Default cap on the number of reachable states explored.
+  static constexpr std::size_t kDefaultMaxStates = std::size_t{1} << 22;
+
   /// Token-game reachability to a State Graph.
   ///
   /// Initial signal values are inferred from the first transition polarity
@@ -77,17 +81,28 @@ class Stg {
   /// well-defined exactly when the STG has a consistent labeling; violations
   /// throw.  Throws if more than `max_states` states are produced or the net
   /// is not 1-safe.
-  StateGraph to_state_graph(std::size_t max_states = 1u << 22) const;
+  StateGraph to_state_graph(std::size_t max_states = kDefaultMaxStates) const;
 
   /// Infer initial signal values (bit per signal) without building the SG.
+  /// Runs a token game that stops as soon as every signal's value is known,
+  /// so it is much cheaper than `to_state_graph` on large nets.  Only
+  /// meaningful for consistently labeled STGs (like `to_state_graph`, but
+  /// inconsistencies beyond the explored prefix are not detected).
   StateCode infer_initial_code() const;
 
  private:
+  static std::uint64_t tt_key(TransId from, TransId to);
+  /// Register `p` in the implicit-place index if it is unnamed with exactly
+  /// one producer and one consumer.
+  void maybe_index_implicit(PlaceId p);
+
   std::vector<Signal> signals_;
   std::vector<StgTransition> transitions_;
   std::vector<StgPlace> places_;
   std::vector<std::vector<PlaceId>> pre_, post_;  // per transition
   std::vector<PlaceId> initial_marking_;
+  /// Implicit places created by `connect_tt`, keyed by (from, to).
+  FlatMap<std::uint64_t, PlaceId> tt_index_;
 };
 
 }  // namespace sitm
