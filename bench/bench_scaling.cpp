@@ -4,9 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <numeric>
+
 #include "benchlib/generators.hpp"
+#include "boolf/bitslice.hpp"
+#include "core/csc.hpp"
 #include "core/mapper.hpp"
 #include "core/mc_cover.hpp"
+#include "sg/regions.hpp"
 #include "stg/stg.hpp"
 
 namespace {
@@ -79,6 +84,67 @@ void BM_MapSeqChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MapSeqChain)->DenseRange(2, 10, 2)->Unit(benchmark::kMillisecond);
+
+// Inner loop of the minimizer in isolation: expand every on-minterm of the
+// parallelizer's done-signal next-state function against the off-set through
+// the bit-sliced engine, including the per-call off-set transpose (this is
+// how minimize_onoff amortizes it).
+void BM_ExpandMinterm(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_parallelizer(static_cast<int>(state.range(0)))
+          .to_state_graph();
+  const int sig = sg.noninput_signals().back();
+  std::vector<std::uint64_t> on, off;
+  sg.reachable().for_each([&](std::size_t s) {
+    const auto id = static_cast<StateId>(s);
+    (next_value(sg, id, sig) ? on : off).push_back(sg.code(id));
+  });
+  std::vector<int> order(static_cast<std::size_t>(sg.num_signals()));
+  std::iota(order.begin(), order.end(), 0);
+  for (auto _ : state) {
+    const BitSlicedOffSet sliced(off, sg.num_signals());
+    for (const auto code : on)
+      benchmark::DoNotOptimize(expand_minterm(code, sliced, order));
+  }
+  state.counters["on"] = static_cast<double>(on.size());
+  state.counters["off"] = static_cast<double>(off.size());
+}
+BENCHMARK(BM_ExpandMinterm)->DenseRange(4, 8, 2);
+
+// CSC resolution on the conflicted ring family.  Default options: exhaustive
+// candidate order, bit-identical to the reference algorithm (class-local
+// conflict recount, deferred verification).
+void BM_ResolveCsc(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_csc_ring(static_cast<int>(state.range(0))).to_state_graph();
+  int inserted = 0;
+  for (auto _ : state) {
+    const CscResult r = resolve_csc(sg);
+    inserted = r.signals_inserted;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(sg.num_states());
+  state.counters["inserted"] = inserted;
+}
+BENCHMARK(BM_ResolveCsc)->DenseRange(2, 6, 1)->Unit(benchmark::kMillisecond);
+
+// Same workload with candidate ranking: only the 16 best-scoring (e1, e2)
+// pairs per iteration pay for the insert/verify round trip.
+void BM_ResolveCscTopK(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_csc_ring(static_cast<int>(state.range(0))).to_state_graph();
+  CscOptions opts;
+  opts.rank_top_k = 16;
+  int inserted = 0;
+  for (auto _ : state) {
+    const CscResult r = resolve_csc(sg, opts);
+    inserted = r.signals_inserted;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(sg.num_states());
+  state.counters["inserted"] = inserted;
+}
+BENCHMARK(BM_ResolveCscTopK)->DenseRange(2, 6, 1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

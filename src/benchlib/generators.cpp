@@ -309,5 +309,22 @@ Stg make_hazard() {
   return std::move(b.stg);
 }
 
+Stg make_csc_ring(int segments) {
+  if (segments < 2) throw Error("make_csc_ring: segments >= 2");
+  Builder b;
+  std::vector<TransId> ring;
+  for (int h = 0; h < segments; ++h) {
+    const int a = b.out("s" + std::to_string(2 * h));
+    const int c = b.out("s" + std::to_string(2 * h + 1));
+    ring.push_back(b.plus(a));
+    ring.push_back(b.plus(c));
+    ring.push_back(b.minus(a));
+    ring.push_back(b.minus(c));
+  }
+  for (std::size_t i = 0; i + 1 < ring.size(); ++i) b.arc(ring[i], ring[i + 1]);
+  b.marked_arc(ring.back(), ring.front());
+  return std::move(b.stg);
+}
+
 }  // namespace bench
 }  // namespace sitm

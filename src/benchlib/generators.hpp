@@ -49,5 +49,15 @@ Stg make_ring(int cells);
 /// that the mapper leaves good circuits alone).
 Stg make_tree(int depth);
 
+/// Deliberately CSC-violating ring of `segments` four-phase output pairs:
+/// segment h cycles s2h+ s2h+1+ s2h- s2h+1-, all segments chained into one
+/// marked ring (the classic a+ b+ a- b- c+ d+ c- d- conflict for
+/// segments = 2).  The all-zero code recurs before every segment with a
+/// different output enabled, so the SG carries segments*(segments-1)/2 CSC
+/// conflict pairs — the natural workload for resolve_csc benchmarks and
+/// equivalence tests.  Unlike the families above, this one must NOT satisfy
+/// CSC.
+Stg make_csc_ring(int segments);
+
 }  // namespace bench
 }  // namespace sitm

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/error.hpp"
+#include "util/flat_map.hpp"
 
 namespace sitm {
 
@@ -20,6 +21,17 @@ std::vector<std::uint64_t> dedup(std::vector<std::uint64_t> v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
   return v;
 }
+
+struct CubeHash {
+  std::uint64_t operator()(const Cube& c) const {
+    return hash_mix(c.val ^ hash_mix(c.care));
+  }
+};
+
+/// Insertion-ordered cube set: membership through a flat hash, order through
+/// the output vector (the O(n^2) std::find dedup this replaces was itself a
+/// hot spot on large on-sets).
+using CubeSet = FlatMap<Cube, char, CubeHash>;
 
 }  // namespace
 
@@ -44,14 +56,16 @@ Cube expand_minterm(std::uint64_t code, const std::vector<std::uint64_t>& off,
 
 std::vector<Cube> irredundant(const std::vector<Cube>& cubes,
                               const std::vector<std::uint64_t>& on) {
-  // coverage[i] = indices of on-minterms covered by cube i.
+  // coverage[i] = indices of on-minterms covered by cube i;
+  // first_cover[m] = lowest cube index covering minterm m.
   std::vector<std::vector<int>> coverage(cubes.size());
   std::vector<int> cover_count(on.size(), 0);
+  std::vector<int> first_cover(on.size(), -1);
   for (std::size_t i = 0; i < cubes.size(); ++i) {
     for (std::size_t m = 0; m < on.size(); ++m) {
       if (cubes[i].contains_code(on[m])) {
         coverage[i].push_back(static_cast<int>(m));
-        ++cover_count[m];
+        if (cover_count[m]++ == 0) first_cover[m] = static_cast<int>(i);
       }
     }
   }
@@ -71,16 +85,10 @@ std::vector<Cube> irredundant(const std::vector<Cube>& cubes,
     }
   };
 
-  // Essential cubes: sole cover of some minterm.
+  // Essential cubes: sole cover of some minterm (its recorded first — and
+  // only — coverer; no per-(minterm, cube) containment rescan needed).
   for (std::size_t m = 0; m < on.size(); ++m) {
-    if (cover_count[m] == 1) {
-      for (std::size_t i = 0; i < cubes.size(); ++i) {
-        if (!coverage[i].empty() && cubes[i].contains_code(on[m])) {
-          select(i);
-          break;
-        }
-      }
-    }
+    if (cover_count[m] == 1) select(static_cast<std::size_t>(first_cover[m]));
   }
 
   // Greedy: biggest marginal coverage, ties by fewer literals.
@@ -154,12 +162,24 @@ Cover minimize_onoff(const std::vector<std::uint64_t>& on_in,
                      [&](int a, int b) { return info[a] < info[b]; });
   }
 
+  // The off-set is transposed once per call; every expansion below is a
+  // word-parallel reduction over its columns.  Both engines return identical
+  // cubes, so the choice is pure engineering: below a dozen or so
+  // off-minterms the transpose allocation costs more than the scan it saves.
+  const bool slice = !opts.reference_engine && off.size() >= 12;
+  const BitSlicedOffSet sliced =
+      slice ? BitSlicedOffSet(off, num_vars) : BitSlicedOffSet{};
+  auto expand = [&](std::uint64_t code, const std::vector<int>& order) {
+    return slice ? expand_minterm(code, sliced, order)
+                 : expand_minterm(code, off, num_vars, order);
+  };
+
   std::vector<Cube> primes;
   primes.reserve(on.size());
+  CubeSet seen(on.size());
   for (auto code : on) {
-    const Cube c = expand_minterm(code, off, num_vars, var_order);
-    if (std::find(primes.begin(), primes.end(), c) == primes.end())
-      primes.push_back(c);
+    const Cube c = expand(code, var_order);
+    if (seen.emplace(c, 1).second) primes.push_back(c);
   }
   std::vector<Cube> chosen = irredundant(primes, on);
 
@@ -168,9 +188,10 @@ Cover minimize_onoff(const std::vector<std::uint64_t>& on_in,
   for (int pass = 1; pass < opts.passes; ++pass) {
     std::vector<int> reversed(var_order.rbegin(), var_order.rend());
     std::vector<Cube> alt = primes;
+    CubeSet alt_seen = seen;
     for (auto code : on) {
-      const Cube c = expand_minterm(code, off, num_vars, reversed);
-      if (std::find(alt.begin(), alt.end(), c) == alt.end()) alt.push_back(c);
+      const Cube c = expand(code, reversed);
+      if (alt_seen.emplace(c, 1).second) alt.push_back(c);
     }
     std::vector<Cube> alt_chosen = irredundant(alt, on);
     auto lits = [](const std::vector<Cube>& v) {

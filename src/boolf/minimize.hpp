@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "boolf/bitslice.hpp"
 #include "boolf/cover.hpp"
 
 namespace sitm {
@@ -14,6 +15,10 @@ namespace sitm {
 struct MinimizeOptions {
   /// Extra reduce/re-expand refinement passes.
   int passes = 1;
+  /// Expand with the retained row-major off-set scan instead of the
+  /// bit-sliced engine.  Slower; kept as the equivalence-test reference —
+  /// both engines return literal-for-literal identical covers.
+  bool reference_engine = false;
 };
 
 /// Minimal-ish SOP cover that contains every `on` minterm and no `off`
@@ -24,6 +29,8 @@ Cover minimize_onoff(const std::vector<std::uint64_t>& on,
 
 /// Expand a single minterm into a prime-ish cube against `off`.
 /// `var_order` lists variables in the order literal removal is attempted.
+/// Row-major reference engine; the bit-sliced overload lives in bitslice.hpp
+/// and returns identical cubes.
 Cube expand_minterm(std::uint64_t code, const std::vector<std::uint64_t>& off,
                     int num_vars, const std::vector<int>& var_order);
 

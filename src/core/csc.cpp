@@ -1,6 +1,8 @@
 #include "core/csc.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <optional>
 
 #include "core/insertion.hpp"
 #include "sg/properties.hpp"
@@ -21,29 +23,37 @@ struct OutputMask {
   bool operator==(const OutputMask&) const = default;
 };
 
+OutputMask output_event_mask(const StateGraph& sg, StateId s,
+                             const std::vector<char>& noninput) {
+  OutputMask m;
+  for (const auto& e : sg.succs(s)) {
+    if (!noninput[e.event.signal]) continue;
+    const std::uint64_t bit =
+        std::uint64_t{1}
+        << (2 * (e.event.signal & 31) + (e.event.rising ? 1 : 0));
+    if (e.event.signal < 32)
+      m.lo |= bit;
+    else
+      m.hi |= bit;
+  }
+  return m;
+}
+
+std::vector<char> noninput_flags(const StateGraph& sg) {
+  std::vector<char> noninput(sg.num_signals());
+  for (int i = 0; i < sg.num_signals(); ++i)
+    noninput[i] = is_noninput(sg.signal(i).kind);
+  return noninput;
+}
+
 /// One pass over all states caching each state's output-event mask; the
 /// conflict scan then compares cached words instead of re-walking adjacency
 /// lists per state pair.
 std::vector<OutputMask> output_event_masks(const StateGraph& sg) {
-  std::vector<char> noninput(sg.num_signals());
-  for (int i = 0; i < sg.num_signals(); ++i)
-    noninput[i] = is_noninput(sg.signal(i).kind);
-
+  const std::vector<char> noninput = noninput_flags(sg);
   std::vector<OutputMask> masks(sg.num_states());
-  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
-    OutputMask m;
-    for (const auto& e : sg.succs(s)) {
-      if (!noninput[e.event.signal]) continue;
-      const std::uint64_t bit =
-          std::uint64_t{1}
-          << (2 * (e.event.signal & 31) + (e.event.rising ? 1 : 0));
-      if (e.event.signal < 32)
-        m.lo |= bit;
-      else
-        m.hi |= bit;
-    }
-    masks[s] = m;
-  }
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
+    masks[s] = output_event_mask(sg, s, noninput);
   return masks;
 }
 
@@ -51,11 +61,16 @@ struct ConflictInfo {
   int pairs = 0;
   /// States participating in at least one conflict.
   DynBitset involved;
+  /// Cached per-state output-event masks (index = StateId).
+  std::vector<OutputMask> masks;
+  /// Code classes with >= 2 states, in discovery order.  Only these can host
+  /// conflicts — before or after a latch insertion (the inserted bit refines
+  /// each class into at most two, and singleton classes stay conflict-free).
+  std::vector<std::vector<StateId>> multi_classes;
 };
 
 ConflictInfo csc_conflicts(const StateGraph& sg) {
-  ConflictInfo info{0, sg.empty_set()};
-  const std::vector<OutputMask> masks = output_event_masks(sg);
+  ConflictInfo info{0, sg.empty_set(), output_event_masks(sg), {}};
 
   // Group states by binary code.  Groups keep discovery (= state id) order,
   // and the pair count / involved set are order-independent anyway.
@@ -68,18 +83,52 @@ ConflictInfo csc_conflicts(const StateGraph& sg) {
     groups[*slot].push_back(s);
   }
 
-  for (const auto& states : groups) {
+  for (auto& states : groups) {
+    if (states.size() < 2) continue;
     for (std::size_t i = 0; i < states.size(); ++i) {
       for (std::size_t j = i + 1; j < states.size(); ++j) {
-        if (!(masks[states[i]] == masks[states[j]])) {
+        if (!(info.masks[states[i]] == info.masks[states[j]])) {
           ++info.pairs;
           info.involved.set(static_cast<std::size_t>(states[i]));
           info.involved.set(static_cast<std::size_t>(states[j]));
         }
       }
     }
+    info.multi_classes.push_back(std::move(states));
   }
   return info;
+}
+
+/// Conflict-pair count of the post-insertion graph `next` — equal to
+/// count_csc_conflicts(next), but computed class-locally.  A new state's
+/// code is its source state's code plus the latch bit, so the only code
+/// classes of `next` with >= 2 members are the old multi-state classes
+/// refined by latch value; output masks are recomputed for just those
+/// states instead of rescanning the whole graph per candidate.
+int conflicts_after_insertion(
+    const StateGraph& next, const InsertionCopies& copies,
+    const std::vector<std::vector<StateId>>& multi_classes,
+    const std::vector<char>& noninput) {
+  std::vector<OutputMask> masks;
+  std::vector<StateId> members;
+  int pairs = 0;
+  for (const auto& cls : multi_classes) {
+    for (const auto* side : {&copies.x0, &copies.x1}) {
+      members.clear();
+      for (StateId s : cls) {
+        const StateId t = (*side)[static_cast<std::size_t>(s)];
+        if (t != kNoState) members.push_back(t);
+      }
+      if (members.size() < 2) continue;
+      masks.clear();
+      for (StateId t : members)
+        masks.push_back(output_event_mask(next, t, noninput));
+      for (std::size_t i = 0; i < masks.size(); ++i)
+        for (std::size_t j = i + 1; j < masks.size(); ++j)
+          if (!(masks[i] == masks[j])) ++pairs;
+    }
+  }
+  return pairs;
 }
 
 /// Fresh internal signal name for state encoding.
@@ -120,11 +169,10 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
       return result;
     }
 
-    // Candidate latches bounded by event pairs.  Events whose switching
-    // regions touch the conflict states first — they are the natural
-    // separators.  One pass over the arcs collects both which events occur
-    // and each event's switching region SR(e) (the states entered by e), so
-    // the candidate loop below never rescans the graph.
+    // Candidate latches bounded by event pairs.  One pass over the arcs
+    // collects both which events occur and each event's switching region
+    // SR(e) (the states entered by e), so the candidate loop below never
+    // rescans the graph.
     const auto event_id = [](Event e) { return 2 * e.signal + (e.rising ? 1 : 0); };
     std::vector<char> occurs(2 * sg.num_signals(), 0);
     std::vector<DynBitset> region(2 * sg.num_signals(), sg.empty_set());
@@ -140,51 +188,114 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
         if (occurs[event_id(Event{sig, rising})])
           events.push_back(Event{sig, rising});
 
+    // The first max_candidates ordered pairs (e1 != e2), in enumeration
+    // order — the same set the previous nested loops examined.
+    struct Candidate {
+      Event e1, e2;
+    };
+    std::vector<Candidate> cands;
+    cands.reserve(std::min(opts.max_candidates,
+                           events.size() * events.size()));
+    for (const Event& e1 : events) {
+      for (const Event& e2 : events) {
+        if (e1 == e2) continue;
+        if (cands.size() >= opts.max_candidates) break;
+        cands.push_back(Candidate{e1, e2});
+      }
+      if (cands.size() >= opts.max_candidates) break;
+    }
+
+    // Optional pruning: score each pair by how many conflicting state pairs
+    // the latch seeds would definitely separate (one state in SR(e1), the
+    // partner in SR(e2)) — computable from the cached masks and regions
+    // without planning an insertion — and move the best K to the front.  The
+    // evaluation loop stops after that prefix once a committable candidate
+    // exists, and only falls back to the remainder when none does.
+    std::size_t stop_if_best_at = cands.size();
+    if (opts.rank_top_k > 0 && cands.size() > opts.rank_top_k) {
+      // The conflicting state pairs are candidate-independent; list them
+      // once and score every candidate with plain bitset tests.
+      std::vector<std::pair<std::size_t, std::size_t>> conflict_pairs;
+      for (const auto& cls : conflicts.multi_classes) {
+        for (std::size_t i = 0; i < cls.size(); ++i) {
+          for (std::size_t j = i + 1; j < cls.size(); ++j) {
+            if (conflicts.masks[cls[i]] == conflicts.masks[cls[j]]) continue;
+            conflict_pairs.emplace_back(static_cast<std::size_t>(cls[i]),
+                                        static_cast<std::size_t>(cls[j]));
+          }
+        }
+      }
+      std::vector<long> score(cands.size(), 0);
+      for (std::size_t c = 0; c < cands.size(); ++c) {
+        const DynBitset& sr1 = region[event_id(cands[c].e1)];
+        const DynBitset& sr2 = region[event_id(cands[c].e2)];
+        for (const auto& [a, b] : conflict_pairs) {
+          if ((sr1.test(a) && sr2.test(b)) || (sr1.test(b) && sr2.test(a)))
+            ++score[c];
+        }
+      }
+      std::vector<std::size_t> order(cands.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                       std::size_t b) {
+        return score[a] > score[b];
+      });
+      std::vector<Candidate> ranked;
+      ranked.reserve(cands.size());
+      for (const std::size_t idx : order) ranked.push_back(cands[idx]);
+      cands = std::move(ranked);
+      stop_if_best_at = opts.rank_top_k;
+    }
+
     struct Best {
       StateGraph sg;
       int pairs = 0;
       CscStep step;
     };
     std::optional<Best> best;
-    std::size_t examined = 0;
+    const std::string name = fresh_csc_name(sg, name_counter);
+    // Signal kinds of any candidate's post-insertion graph: the old signals
+    // (indices preserved by insert_signal) plus the new internal latch.
+    std::vector<char> noninput_next = noninput_flags(sg);
+    noninput_next.push_back(1);
 
-    for (const Event& e1 : events) {
-      for (const Event& e2 : events) {
-        if (e1 == e2) continue;
-        if (examined >= opts.max_candidates) break;
-        ++examined;
+    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+      if (ci == stop_if_best_at && best) break;
+      const Candidate& cand = cands[ci];
+      // set/reset seeds: the switching regions of the bounding events.
+      const DynBitset& set_states = region[event_id(cand.e1)];
+      const DynBitset& reset_states = region[event_id(cand.e2)];
 
-        // set/reset seeds: the switching regions of the bounding events.
-        const DynBitset& set_states = region[event_id(e1)];
-        const DynBitset& reset_states = region[event_id(e2)];
+      auto plan = plan_state_latch_insertion(sg, set_states, reset_states);
+      if (!plan) continue;
+      // Useless if it does not split any conflicting code class: some
+      // involved state must differ in the latch value from a conflicting
+      // partner; cheap necessary test: S1 neither contains nor misses all
+      // involved states.
+      const DynBitset involved_in = conflicts.involved & plan->s1;
+      if (involved_in.none() ||
+          involved_in.count() == conflicts.involved.count())
+        continue;
 
-        auto plan = plan_state_latch_insertion(sg, set_states, reset_states);
-        if (!plan) continue;
-        // Useless if it does not split any conflicting code class: some
-        // involved state must differ in the latch value from a conflicting
-        // partner; cheap necessary test: S1 neither contains nor misses all
-        // involved states.
-        const DynBitset involved_in = conflicts.involved & plan->s1;
-        if (involved_in.none() ||
-            involved_in.count() == conflicts.involved.count())
-          continue;
+      InsertionCopies copies;
+      StateGraph next = insert_signal(sg, *plan, name, &copies);
+      const int pairs_after = conflicts_after_insertion(
+          next, copies, conflicts.multi_classes, noninput_next);
+      if (pairs_after >= conflicts.pairs) continue;
+      const bool beats =
+          !best || pairs_after < best->pairs ||
+          (pairs_after == best->pairs &&
+           next.num_states() < best->sg.num_states());
+      if (!beats) continue;
+      // Deferred verification: only a candidate about to become the running
+      // best pays for the SI/SIP re-check — a rejected candidate cannot
+      // influence the chosen insertion either way.
+      if (!verify_insertion(sg, next, /*require_csc=*/false)) continue;
 
-        const std::string name = fresh_csc_name(sg, name_counter);
-        StateGraph next = insert_signal(sg, *plan, name);
-        if (!verify_insertion(sg, next, /*require_csc=*/false)) continue;
-        const int pairs_after = count_csc_conflicts(next);
-        if (pairs_after >= conflicts.pairs) continue;
-
-        Best candidate{std::move(next), pairs_after,
-                       CscStep{name, e1, e2, conflicts.pairs, pairs_after}};
-        if (!best || candidate.pairs < best->pairs ||
-            (candidate.pairs == best->pairs &&
-             candidate.sg.num_states() < best->sg.num_states())) {
-          best = std::move(candidate);
-        }
-        if (best && best->pairs == 0) break;
-      }
-      if ((best && best->pairs == 0) || examined >= opts.max_candidates) break;
+      best = Best{std::move(next), pairs_after,
+                  CscStep{name, cand.e1, cand.e2, conflicts.pairs,
+                          pairs_after}};
+      if (best->pairs == 0) break;
     }
 
     if (!best) {

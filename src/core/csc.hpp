@@ -26,6 +26,15 @@ struct CscOptions {
   int max_insertions = 12;
   /// Upper bound on (e1, e2) candidate pairs examined per iteration.
   std::size_t max_candidates = 256;
+  /// When > 0, rank the candidate pairs by a cheap conflict-splitting score
+  /// (computed from the cached per-state output-event masks and switching
+  /// regions, no insertion needed) and run the expensive insert/verify round
+  /// trip only for the best K, falling back to the remaining candidates only
+  /// when no top-K candidate commits.  0 (the default) evaluates candidates
+  /// exhaustively in enumeration order, which is bit-identical to the
+  /// reference implementation; the ranked mode may commit a different —
+  /// equally valid — latch.
+  std::size_t rank_top_k = 0;
 };
 
 struct CscStep {

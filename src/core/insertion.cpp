@@ -269,7 +269,7 @@ std::optional<InsertionPlan> plan_state_latch_insertion(
 }
 
 StateGraph insert_signal(const StateGraph& sg, const InsertionPlan& plan,
-                         const std::string& name) {
+                         const std::string& name, InsertionCopies* copies) {
   StateGraph out;
   for (const auto& sig : sg.signals()) out.add_signal(sig.name, sig.kind);
   const int x = out.add_signal(name, SignalKind::kInternal);
@@ -320,7 +320,17 @@ StateGraph insert_signal(const StateGraph& sg, const InsertionPlan& plan,
 
   const StateId init = sg.initial();
   out.set_initial(plan.initial_value ? id_x1[init] : id_x0[init]);
-  out.prune_unreachable();
+  std::vector<StateId> remap;
+  out.prune_unreachable(copies ? &remap : nullptr);
+  if (copies) {
+    auto through = [&](std::vector<StateId> ids) {
+      for (auto& id : ids)
+        if (id != kNoState) id = remap[id];
+      return ids;
+    };
+    copies->x0 = through(std::move(id_x0));
+    copies->x1 = through(std::move(id_x1));
+  }
   return out;
 }
 

@@ -74,12 +74,22 @@ std::optional<InsertionPlan> plan_state_latch_insertion(
     const StateGraph& sg, const DynBitset& set_states,
     const DynBitset& reset_states, InsertionFailure* failure = nullptr);
 
+/// Provenance of the inserted graph's states: for every pre-insertion state,
+/// the new-graph ids of its x=0 and x=1 copies (kNoState when the copy does
+/// not exist or was pruned as unreachable).  Each new state is exactly one
+/// old state's copy for exactly one x value, which is what lets CSC
+/// resolution recount conflicts class-locally instead of rescanning.
+struct InsertionCopies {
+  std::vector<StateId> x0, x1;
+};
+
 /// Insert a new internal signal named `name` according to `plan`.
 /// The result is verified for consistency by construction; behavioural
 /// properties (speed-independence, CSC, SIP-ness) should be re-checked by
 /// the caller via `verify_insertion`.
 StateGraph insert_signal(const StateGraph& sg, const InsertionPlan& plan,
-                         const std::string& name);
+                         const std::string& name,
+                         InsertionCopies* copies = nullptr);
 
 /// Full post-insertion check: the new SG must be deterministic, commutative,
 /// output-persistent (including x), satisfy CSC, and every signal persistent

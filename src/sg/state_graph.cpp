@@ -1,6 +1,7 @@
 #include "sg/state_graph.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/error.hpp"
 #include "util/text.hpp"
@@ -109,15 +110,22 @@ DynBitset StateGraph::reachable() const {
   return seen;
 }
 
-std::size_t StateGraph::prune_unreachable() {
+std::size_t StateGraph::prune_unreachable(std::vector<StateId>* old_to_new) {
   const DynBitset keep = reachable();
   const std::size_t removed = num_states() - keep.count();
-  if (removed == 0) return 0;
+  if (removed == 0) {
+    if (old_to_new) {
+      old_to_new->resize(num_states());
+      std::iota(old_to_new->begin(), old_to_new->end(), StateId{0});
+    }
+    return 0;
+  }
 
   std::vector<StateId> remap(num_states(), kNoState);
   StateId next = 0;
   for (std::size_t s = 0; s < num_states(); ++s)
     if (keep.test(s)) remap[s] = next++;
+  if (old_to_new) *old_to_new = remap;
 
   std::vector<StateCode> codes;
   std::vector<std::vector<Edge>> succs;

@@ -105,8 +105,10 @@ class StateGraph {
   DynBitset reachable() const;
 
   /// Remove states unreachable from the initial state; renumbers states.
-  /// Returns the number of removed states.
-  std::size_t prune_unreachable();
+  /// Returns the number of removed states.  When `old_to_new` is given it
+  /// receives the renumbering (kNoState for removed states), sized to the
+  /// pre-prune state count.
+  std::size_t prune_unreachable(std::vector<StateId>* old_to_new = nullptr);
 
  private:
   /// Dense id of an event: 2 bits per signal, 128 bits cover 64 signals.

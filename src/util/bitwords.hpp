@@ -1,0 +1,22 @@
+#pragma once
+// Packed-word helpers shared by the bitset-shaped structures (DynBitset,
+// the bit-sliced off-set): sizing and tail masking for arrays of 64-bit
+// words that carry `bits` logical bits.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sitm::bitwords {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+/// Mask of the valid bits in the last word of a `bits`-bit packed array;
+/// all-ones when `bits` is a multiple of 64.  Operations that complement
+/// words must AND the last word with this so padding bits stay clear.
+constexpr std::uint64_t tail_mask(std::size_t bits) {
+  return (bits % 64 == 0) ? ~std::uint64_t{0}
+                          : ((std::uint64_t{1} << (bits % 64)) - 1);
+}
+
+}  // namespace sitm::bitwords

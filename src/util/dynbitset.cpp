@@ -12,9 +12,7 @@ void DynBitset::set_all() {
 }
 
 void DynBitset::trim_tail() {
-  if (size_ % 64 != 0 && !words_.empty()) {
-    words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
-  }
+  if (!words_.empty()) words_.back() &= bitwords::tail_mask(size_);
 }
 
 std::size_t DynBitset::count() const {

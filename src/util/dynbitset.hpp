@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/bitwords.hpp"
+
 namespace sitm {
 
 /// Fixed-universe dynamic bitset.  All binary operations require operands of
@@ -16,7 +18,8 @@ namespace sitm {
 class DynBitset {
  public:
   DynBitset() = default;
-  explicit DynBitset(std::size_t size) : size_(size), words_((size + 63) / 64) {}
+  explicit DynBitset(std::size_t size)
+      : size_(size), words_(bitwords::words_for(size)) {}
 
   std::size_t size() const { return size_; }
 

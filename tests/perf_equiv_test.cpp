@@ -6,13 +6,21 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <numeric>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "benchlib/generators.hpp"
 #include "benchlib/suite.hpp"
+#include "boolf/bitslice.hpp"
+#include "boolf/minimize.hpp"
 #include "core/csc.hpp"
+#include "core/insertion.hpp"
+#include "sg/properties.hpp"
 #include "sg/state_graph.hpp"
 #include "stg/stg.hpp"
+#include "util/rng.hpp"
 
 namespace sitm {
 namespace {
@@ -271,6 +279,268 @@ TEST(PerfEquiv, WideSignalMasksDoNotAlias) {
   sg.add_arc(q, Event{33, true}, q2);
   sg.set_initial(p);
   EXPECT_EQ(count_csc_conflicts(sg), 1);
+}
+
+// ----- reference resolve_csc: exhaustive order, full per-candidate rescan --
+
+struct RefConflicts {
+  int pairs = 0;
+  DynBitset involved;
+};
+
+/// 128-bit output-event masks (2 bits per signal) via ordered-map grouping —
+/// the structure the cached implementation replaced.
+RefConflicts ref_conflicts128(const StateGraph& sg) {
+  auto mask128 = [&](StateId s) {
+    std::pair<std::uint64_t, std::uint64_t> m{0, 0};
+    for (const auto& e : sg.succs(s)) {
+      if (!is_noninput(sg.signal(e.event.signal).kind)) continue;
+      const std::uint64_t bit =
+          std::uint64_t{1}
+          << (2 * (e.event.signal & 31) + (e.event.rising ? 1 : 0));
+      (e.event.signal < 32 ? m.first : m.second) |= bit;
+    }
+    return m;
+  };
+  RefConflicts out{0, sg.empty_set()};
+  std::map<StateCode, std::vector<StateId>> by_code;
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
+    by_code[sg.code(s)].push_back(s);
+  for (const auto& [code, states] : by_code) {
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      for (std::size_t j = i + 1; j < states.size(); ++j) {
+        if (mask128(states[i]) != mask128(states[j])) {
+          ++out.pairs;
+          out.involved.set(static_cast<std::size_t>(states[i]));
+          out.involved.set(static_cast<std::size_t>(states[j]));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The pre-optimization resolve_csc, verbatim in structure: every candidate
+/// pays the full insert + verify + whole-graph conflict recount, in
+/// enumeration order.  The optimized default path must match it result for
+/// result (steps, counts, final graph).
+CscResult reference_resolve_csc(const StateGraph& input,
+                                std::size_t max_candidates = 256,
+                                int max_insertions = 12) {
+  CscResult result;
+  result.sg = std::make_shared<StateGraph>(input);
+  result.sg->prune_unreachable();
+
+  int name_counter = 0;
+  while (true) {
+    StateGraph& sg = *result.sg;
+    const RefConflicts conflicts = ref_conflicts128(sg);
+    if (conflicts.pairs == 0) {
+      result.resolved = true;
+      return result;
+    }
+    if (result.signals_inserted >= max_insertions) {
+      result.failure = "insertion limit reached";
+      return result;
+    }
+
+    const auto event_id = [](Event e) {
+      return 2 * e.signal + (e.rising ? 1 : 0);
+    };
+    std::vector<char> occurs(2 * sg.num_signals(), 0);
+    std::vector<DynBitset> region(2 * sg.num_signals(), sg.empty_set());
+    for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+      for (const auto& edge : sg.succs(s)) {
+        occurs[event_id(edge.event)] = 1;
+        region[event_id(edge.event)].set(edge.target);
+      }
+    }
+    std::vector<Event> events;
+    for (int sig = 0; sig < sg.num_signals(); ++sig)
+      for (bool rising : {true, false})
+        if (occurs[event_id(Event{sig, rising})])
+          events.push_back(Event{sig, rising});
+
+    struct Best {
+      StateGraph sg;
+      int pairs = 0;
+      CscStep step;
+    };
+    std::optional<Best> best;
+    std::size_t examined = 0;
+
+    for (const Event& e1 : events) {
+      for (const Event& e2 : events) {
+        if (e1 == e2) continue;
+        if (examined >= max_candidates) break;
+        ++examined;
+
+        auto plan = plan_state_latch_insertion(sg, region[event_id(e1)],
+                                               region[event_id(e2)]);
+        if (!plan) continue;
+        const DynBitset involved_in = conflicts.involved & plan->s1;
+        if (involved_in.none() ||
+            involved_in.count() == conflicts.involved.count())
+          continue;
+
+        std::string name;
+        for (int c = name_counter;; ++c) {
+          name = "csc" + std::to_string(c);
+          if (sg.find_signal(name) < 0) break;
+        }
+        StateGraph next = insert_signal(sg, *plan, name);
+        if (!verify_insertion(sg, next, /*require_csc=*/false)) continue;
+        const int pairs_after = ref_conflicts128(next).pairs;
+        if (pairs_after >= conflicts.pairs) continue;
+
+        Best candidate{std::move(next), pairs_after,
+                       CscStep{name, e1, e2, conflicts.pairs, pairs_after}};
+        if (!best || candidate.pairs < best->pairs ||
+            (candidate.pairs == best->pairs &&
+             candidate.sg.num_states() < best->sg.num_states())) {
+          best = std::move(candidate);
+        }
+        if (best && best->pairs == 0) break;
+      }
+      if ((best && best->pairs == 0) || examined >= max_candidates) break;
+    }
+
+    if (!best) {
+      result.failure = "no event-bounded latch reduces the CSC conflicts";
+      return result;
+    }
+    result.sg = std::make_shared<StateGraph>(std::move(best->sg));
+    result.steps.push_back(best->step);
+    ++result.signals_inserted;
+    ++name_counter;
+  }
+}
+
+void expect_csc_result_identical(const CscResult& a, const CscResult& b) {
+  EXPECT_EQ(a.resolved, b.resolved);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.signals_inserted, b.signals_inserted);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].new_signal, b.steps[i].new_signal) << "step " << i;
+    EXPECT_EQ(a.steps[i].set_after, b.steps[i].set_after) << "step " << i;
+    EXPECT_EQ(a.steps[i].reset_after, b.steps[i].reset_after) << "step " << i;
+    EXPECT_EQ(a.steps[i].conflicts_before, b.steps[i].conflicts_before);
+    EXPECT_EQ(a.steps[i].conflicts_after, b.steps[i].conflicts_after);
+  }
+  expect_sg_identical(*a.sg, *b.sg);
+}
+
+TEST(PerfEquiv, ResolveCscMatchesReferenceOnConflictedRings) {
+  for (int segments : {2, 3, 4}) {
+    const StateGraph sg = bench::make_csc_ring(segments).to_state_graph();
+    ASSERT_GT(count_csc_conflicts(sg), 0) << segments;
+    expect_csc_result_identical(resolve_csc(sg),
+                                reference_resolve_csc(sg));
+  }
+}
+
+TEST(PerfEquiv, ResolveCscMatchesReferenceOnCleanFamilies) {
+  // CSC-clean inputs must come back untouched through both paths.
+  for (const Stg& stg :
+       {bench::make_parallelizer(4), bench::make_combo(3, 3)}) {
+    const StateGraph sg = stg.to_state_graph();
+    expect_csc_result_identical(resolve_csc(sg), reference_resolve_csc(sg));
+  }
+}
+
+TEST(PerfEquiv, RankedResolveCscStillResolves) {
+  // The opt-in top-K mode may pick different latches; the result must still
+  // be a conflict-free, consistent, speed-independent graph.
+  for (int segments : {2, 3, 4}) {
+    const StateGraph sg = bench::make_csc_ring(segments).to_state_graph();
+    CscOptions opts;
+    opts.rank_top_k = 8;
+    const CscResult r = resolve_csc(sg, opts);
+    ASSERT_TRUE(r.resolved) << r.failure;
+    EXPECT_EQ(count_csc_conflicts(*r.sg), 0);
+    EXPECT_TRUE(check_consistency(*r.sg));
+    EXPECT_TRUE(check_speed_independence(*r.sg));
+  }
+}
+
+// ----- bit-sliced minimizer vs retained row-major reference ----------------
+
+TEST(PerfEquiv, BitSlicedExpandMatchesReferenceRandomized) {
+  Rng rng(20260728);
+  for (const int num_vars : {1, 2, 7, 13, 63, 64}) {
+    const std::uint64_t mask =
+        num_vars >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << num_vars) - 1);
+    const std::uint64_t space =
+        num_vars >= 12 ? 4096 : (std::uint64_t{1} << num_vars);
+    for (int round = 0; round < 6; ++round) {
+      // Clustered draws (a base code with a few flipped bits) so cubes
+      // genuinely expand instead of staying near-minterms.
+      const std::uint64_t base = rng.next() & mask;
+      auto draw = [&] {
+        std::uint64_t c = base;
+        const int flips =
+            1 + static_cast<int>(rng.below(std::max(2, num_vars / 2)));
+        for (int f = 0; f < flips; ++f)
+          c ^= std::uint64_t{1} << rng.below(static_cast<std::uint64_t>(num_vars));
+        return c & mask;
+      };
+      std::set<std::uint64_t> on_set, off_set;
+      const std::size_t n_on = 1 + rng.below(std::min<std::uint64_t>(40, space / 2));
+      const std::size_t n_off = 1 + rng.below(std::min<std::uint64_t>(40, space / 2));
+      for (int tries = 0; on_set.size() < n_on && tries < 4096; ++tries)
+        on_set.insert(draw());
+      for (int tries = 0; off_set.size() < n_off && tries < 4096; ++tries) {
+        const std::uint64_t c = draw();
+        if (!on_set.count(c)) off_set.insert(c);
+      }
+      if (off_set.empty()) {
+        // n_on <= space/2, so a free code always exists.
+        for (std::uint64_t c = 0;; ++c) {
+          if (!on_set.count(c & mask)) {
+            off_set.insert(c & mask);
+            break;
+          }
+        }
+      }
+
+      const std::vector<std::uint64_t> on(on_set.begin(), on_set.end());
+      const std::vector<std::uint64_t> off(off_set.begin(), off_set.end());
+
+      // Expansion level: the bit-sliced trial sequence must produce the
+      // same cube, literal for literal, for every on-minterm and order.
+      const BitSlicedOffSet sliced(off, num_vars);
+      std::vector<int> order(static_cast<std::size_t>(num_vars));
+      std::iota(order.begin(), order.end(), 0);
+      std::vector<int> reversed(order.rbegin(), order.rend());
+      for (const auto code : on) {
+        EXPECT_EQ(expand_minterm(code, sliced, order),
+                  expand_minterm(code, off, num_vars, order))
+            << "vars=" << num_vars << " code=" << code;
+        EXPECT_EQ(expand_minterm(code, sliced, reversed),
+                  expand_minterm(code, off, num_vars, reversed));
+      }
+      // Degenerate input: expanding an off-minterm keeps the full minterm.
+      EXPECT_EQ(expand_minterm(off[0], sliced, order),
+                Cube::minterm(off[0], num_vars));
+      EXPECT_EQ(expand_minterm(off[0], off, num_vars, order),
+                Cube::minterm(off[0], num_vars));
+
+      // Cover level: both engines, one and two passes, literal-for-literal.
+      for (int passes : {1, 2}) {
+        MinimizeOptions fast, ref;
+        fast.passes = ref.passes = passes;
+        ref.reference_engine = true;
+        const Cover a = minimize_onoff(on, off, num_vars, fast);
+        const Cover b = minimize_onoff(on, off, num_vars, ref);
+        EXPECT_EQ(a.cubes(), b.cubes())
+            << "vars=" << num_vars << " passes=" << passes;
+        for (const auto code : on) EXPECT_TRUE(a.eval(code));
+        for (const auto code : off) EXPECT_FALSE(a.eval(code));
+      }
+    }
+  }
 }
 
 TEST(PerfEquiv, InferInitialCodeMatchesFullTokenGame) {
