@@ -11,6 +11,7 @@
 #include "core/csc.hpp"
 #include "core/mapper.hpp"
 #include "core/mc_cover.hpp"
+#include "flow/flow.hpp"
 #include "sg/regions.hpp"
 #include "stg/stg.hpp"
 
@@ -38,6 +39,44 @@ void BM_SynthesizeAll(benchmark::State& state) {
   state.counters["states"] = static_cast<double>(sg.num_states());
 }
 BENCHMARK(BM_SynthesizeAll)->DenseRange(2, 8, 2);
+
+// Parallel per-signal synthesis: the BM_SynthesizeAll workload at the
+// largest size, swept over McOptions::threads.  The output is bit-identical
+// to the serial loop at every thread count; the wall-clock ratio against
+// /1 is the ROADMAP's "parallel synthesize_all" speedup.
+void BM_SynthesizeAllParallel(benchmark::State& state) {
+  const StateGraph sg = bench::make_parallelizer(8).to_state_graph();
+  McOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_all(sg, opts));
+  }
+  state.counters["states"] = static_cast<double>(sg.num_states());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SynthesizeAllParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The staged Flow engine end to end (load metrics -> reachability ->
+// properties -> csc -> synth -> decomp -> map -> verify): what one spec
+// costs through the orchestration layer, i.e. BM_MapParallelizer plus the
+// property checks and gate-level verification it leaves out.
+void BM_FlowMapVerify(benchmark::State& state) {
+  const Stg stg = bench::make_parallelizer(static_cast<int>(state.range(0)));
+  FlowOptions opts;
+  opts.mapper.library.max_literals = 2;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    Spec spec;
+    spec.name = "parallelizer";
+    spec.stg = stg;
+    Flow flow(opts);
+    const FlowReport report = flow.run_spec(std::move(spec));
+    states = flow.context().sg->num_states();
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_FlowMapVerify)->DenseRange(2, 6, 2)->Unit(benchmark::kMillisecond);
 
 void BM_MapParallelizer(benchmark::State& state) {
   const StateGraph sg =

@@ -1,17 +1,14 @@
-// Complete State Coding resolution followed by technology mapping: the full
-// front-to-back flow for a specification that is not directly implementable.
+// Complete State Coding resolution followed by technology mapping, driven
+// through the staged Flow engine: one FlowOptions struct configures the
+// whole load -> ... -> verify -> emit sequence, and the FlowContext keeps
+// every intermediate artifact (CSC steps, mapped netlist, Verilog)
+// inspectable afterwards.
 //
 // Build & run:   ./build/examples/csc_flow
 
 #include <cstdio>
 
-#include "core/csc.hpp"
-#include "core/mapper.hpp"
-#include "core/mc_cover.hpp"
-#include "netlist/si_verify.hpp"
-#include "netlist/writers.hpp"
-#include "sg/properties.hpp"
-#include "stg/g_io.hpp"
+#include "flow/flow.hpp"
 
 using namespace sitm;
 
@@ -33,46 +30,53 @@ d- a+
 .marking { <d-,a+> }
 .end
 )";
-  const Stg stg = read_g_string(spec);
-  const StateGraph sg = stg.to_state_graph();
-  std::printf("two-phase ring: %zu states\n", sg.num_states());
 
-  const auto csc_check = check_csc(sg);
-  std::printf("CSC: %s (%d conflict pairs)\n",
-              csc_check ? "satisfied" : csc_check.why.c_str(),
-              count_csc_conflicts(sg));
+  FlowOptions opts;
+  opts.mapper.library.max_literals = 2;
+  opts.capture_emitted = true;  // keep the Verilog in the context
 
-  // 1. Insert state signals until CSC holds.
-  const CscResult resolved = resolve_csc(sg);
-  if (!resolved.resolved) {
-    std::printf("CSC resolution failed: %s\n", resolved.failure.c_str());
+  Flow flow(opts);
+  const FlowReport report = flow.run_string(spec);
+  const FlowContext& ctx = flow.context();
+
+  if (!report.ok) {
+    std::printf("flow failed in %s: %s\n", stage_name(*report.failed_stage),
+                report.failure.c_str());
     return 1;
   }
-  std::printf("\ninserted %d state signal(s):\n", resolved.signals_inserted);
-  for (const auto& step : resolved.steps) {
-    std::printf("  %s: set after %s, reset after %s  (%d -> %d conflicts)\n",
-                step.new_signal.c_str(),
-                resolved.sg->event_string(step.set_after).c_str(),
-                resolved.sg->event_string(step.reset_after).c_str(),
-                step.conflicts_before, step.conflicts_after);
+
+  std::printf("two-phase ring: %g states\n",
+              report.stage(Stage::kReachability)
+                  .metric_value("states")
+                  .value_or(0));
+  std::printf("CSC conflict pairs before resolution: %g\n",
+              report.stage(Stage::kProperties)
+                  .metric_value("csc_conflict_pairs")
+                  .value_or(0));
+
+  // 1. The csc stage inserted state signals until CSC held.  (ctx.csc is
+  // only populated when a resolution was actually needed.)
+  if (ctx.csc) {
+    std::printf("\ninserted %d state signal(s):\n", ctx.csc->signals_inserted);
+    for (const auto& step : ctx.csc->steps) {
+      std::printf("  %s: set after %s, reset after %s  (%d -> %d conflicts)\n",
+                  step.new_signal.c_str(),
+                  ctx.csc->sg->event_string(step.set_after).c_str(),
+                  ctx.csc->sg->event_string(step.reset_after).c_str(),
+                  step.conflicts_before, step.conflicts_after);
+    }
+  } else {
+    std::printf("\nCSC already satisfied; no state signals inserted\n");
   }
 
-  // 2. Map onto a 2-literal library.
-  MapperOptions opts;
-  opts.library.max_literals = 2;
-  const MapResult mapped = technology_map(*resolved.sg, opts);
-  if (!mapped.implementable) {
-    std::printf("mapping failed: %s\n", mapped.failure.c_str());
-    return 1;
-  }
-  const Netlist netlist = mapped.build_netlist();
+  // 2. The map stage decomposed onto the 2-literal library.
   std::printf("\nmapped netlist (%d decomposition signal(s)):\n%s",
-              mapped.signals_inserted, netlist.to_string().c_str());
+              ctx.mapped->signals_inserted, ctx.netlist->to_string().c_str());
 
-  // 3. Verify and emit Verilog.
-  const SiVerifyResult verify = verify_speed_independence(netlist);
+  // 3. The verify stage checked gate-level speed independence; the emit
+  //    stage captured the Verilog.
   std::printf("\ngate-level SI verification: %s\n",
-              verify.ok ? "PASS" : verify.why.c_str());
-  std::printf("\nVerilog:\n%s", write_verilog_string(netlist, "twophase").c_str());
-  return verify.ok ? 0 : 1;
+              ctx.verify->ok ? "PASS" : ctx.verify->why.c_str());
+  std::printf("\nVerilog:\n%s", ctx.emitted_verilog.c_str());
+  return ctx.verify->ok ? 0 : 1;
 }

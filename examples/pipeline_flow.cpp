@@ -1,22 +1,16 @@
-// End-to-end flow on a user-provided specification: parse a .g file (inline
-// here; pass a path to read your own), run reachability, check the
-// implementability preconditions, map onto a chosen library and print the
-// netlist — the typical way a downstream user drives the library.
+// End-to-end flow on a user-provided specification, driven through the
+// staged Flow engine: parse a .g file (inline here; pass a path to read
+// your own), run reachability and the property checks, synthesize, map onto
+// a chosen library and print the netlists — the typical way a downstream
+// user drives the library.  The per-stage StageReports double as a
+// structured log of what happened.
 //
 // Usage:   ./build/examples/pipeline_flow [file.g] [max_literals]
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <sstream>
 
-#include "core/mapper.hpp"
-#include "core/mc_cover.hpp"
-#include "netlist/si_verify.hpp"
-#include "netlist/tech_decomp.hpp"
-#include "sg/properties.hpp"
-#include "stg/g_io.hpp"
-#include "util/error.hpp"
+#include "flow/flow.hpp"
 
 using namespace sitm;
 
@@ -54,63 +48,57 @@ done-/2 idle
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string text = kDefaultSpec;
-  if (argc > 1) {
-    std::ifstream in(argv[1]);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 1;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    text = buffer.str();
-  }
-  const int max_literals = argc > 2 ? std::atoi(argv[2]) : 2;
+  FlowOptions opts;
+  opts.mapper.library.max_literals = argc > 2 ? std::atoi(argv[2]) : 2;
 
-  try {
-    std::string name;
-    const Stg stg = read_g_string(text, &name);
-    const StateGraph sg = stg.to_state_graph();
-    std::printf("%s: %zu transitions, %zu places -> %zu states\n",
-                name.c_str(), stg.num_transitions(), stg.num_places(),
-                sg.num_states());
+  Flow flow(opts);
+  const FlowReport report = argc > 1
+                                ? flow.run_file(argv[1])
+                                : flow.run_string(kDefaultSpec);
+  const FlowContext& ctx = flow.context();
 
-    if (auto r = check_implementability(sg); !r) {
-      std::printf("specification rejected: %s\n", r.why.c_str());
-      return 1;
-    }
-
-    const Netlist before = synthesize_all(sg);
-    std::printf("\nunconstrained standard-C implementation (max gate %d "
-                "literals, %d literals total, %d C elements):\n%s\n",
-                before.max_gate_complexity(), before.total_literals(),
-                before.num_c_elements(), before.to_string().c_str());
-
-    MapperOptions opts;
-    opts.library.max_literals = max_literals;
-    const MapResult result = technology_map(sg, opts);
-    if (!result.implementable) {
-      std::printf("not implementable with %d-literal gates: %s\n",
-                  max_literals, result.failure.c_str());
-      return 1;
-    }
-    const Netlist after = result.build_netlist();
-    std::printf("mapped onto <=%d-literal gates with %d inserted signals "
-                "(%d literals, %d C elements):\n%s\n",
-                max_literals, result.signals_inserted, after.total_literals(),
-                after.num_c_elements(), after.to_string().c_str());
-
-    const TechDecompResult baseline = tech_decomp2(before);
-    std::printf("non-SI tech_decomp baseline: %d literals, %d C elements "
-                "(hazardous under unbounded delays)\n",
-                baseline.literals, baseline.c_elements);
-
-    const SiVerifyResult verify = verify_speed_independence(after);
-    std::printf("gate-level SI verification: %s\n",
-                verify.ok ? "PASS" : verify.why.c_str());
-    return verify.ok ? 0 : 1;
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+  if (!report.ok) {
+    std::printf("%s: flow failed in %s: %s\n", report.name.c_str(),
+                stage_name(*report.failed_stage), report.failure.c_str());
     return 1;
   }
+
+  const auto& load = report.stage(Stage::kLoad);
+  const auto& reach = report.stage(Stage::kReachability);
+  if (load.metric_value("transitions"))  // .g input: net-level stats exist
+    std::printf("%s: %g transitions, %g places -> %g states\n",
+                report.name.c_str(), *load.metric_value("transitions"),
+                load.metric_value("places").value_or(0),
+                reach.metric_value("states").value_or(0));
+  else  // .sg input: the spec is already a state graph
+    std::printf("%s: %g states, %g arcs\n", report.name.c_str(),
+                reach.metric_value("states").value_or(0),
+                reach.metric_value("arcs").value_or(0));
+
+  const Netlist& before = *ctx.synth_netlist;
+  std::printf("\nunconstrained standard-C implementation (max gate %d "
+              "literals, %d literals total, %d C elements):\n%s\n",
+              before.max_gate_complexity(), before.total_literals(),
+              before.num_c_elements(), before.to_string().c_str());
+
+  const Netlist& after = *ctx.netlist;
+  std::printf("mapped onto <=%d-literal gates with %d inserted signals "
+              "(%d literals, %d C elements):\n%s\n",
+              opts.mapper.library.max_literals, ctx.mapped->signals_inserted,
+              after.total_literals(), after.num_c_elements(),
+              after.to_string().c_str());
+
+  std::printf("non-SI tech_decomp baseline: %d literals, %d C elements "
+              "(hazardous under unbounded delays)\n",
+              ctx.decomp->literals, ctx.decomp->c_elements);
+
+  std::printf("gate-level SI verification: %s\n",
+              ctx.verify->ok ? "PASS" : ctx.verify->why.c_str());
+
+  // Per-stage wall times from the structured reports.
+  std::printf("\nstage timings:");
+  for (const auto& sr : report.stages)
+    if (sr.ran) std::printf("  %s %.2fms", stage_name(sr.stage), sr.wall_ms);
+  std::printf("\n");
+  return ctx.verify->ok ? 0 : 1;
 }

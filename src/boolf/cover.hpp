@@ -58,6 +58,12 @@ class Cover {
   bool covers(const Cover& other) const;
   /// Semantic equality.
   bool equivalent(const Cover& other) const;
+  /// Structural (cube-for-cube) equality — the bit-identity predicate of
+  /// the parallel-synthesis equivalence tests; use `equivalent` for
+  /// function equality.
+  bool operator==(const Cover& o) const {
+    return num_vars_ == o.num_vars_ && cubes_ == o.cubes_;
+  }
 
   /// Complement via unate-recursive De Morgan recursion.
   Cover complement() const;

@@ -146,6 +146,14 @@ int count_csc_conflicts(const StateGraph& sg) {
   return csc_conflicts(sg).pairs;
 }
 
+CscAnalysis analyze_csc(const StateGraph& sg) {
+  ConflictInfo info = csc_conflicts(sg);
+  CscAnalysis out;
+  out.conflict_pairs = info.pairs;
+  out.involved_states = std::move(info.involved);
+  return out;
+}
+
 CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
   CscResult result;
   result.sg = std::make_shared<StateGraph>(input);

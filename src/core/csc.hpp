@@ -55,6 +55,20 @@ struct CscResult {
 /// different non-input event sets.
 int count_csc_conflicts(const StateGraph& sg);
 
+/// Cached CSC conflict analysis of one SG revision, computed from a single
+/// pass of per-state output-event masks.  The flow computes this once per SG
+/// and shares it between the properties and csc stages instead of re-walking
+/// the adjacency lists per query (check_csc + count_csc_conflicts each
+/// rebuild the masks from scratch).
+struct CscAnalysis {
+  int conflict_pairs = 0;
+  /// States participating in at least one conflict pair.
+  DynBitset involved_states;
+
+  bool ok() const { return conflict_pairs == 0; }
+};
+CscAnalysis analyze_csc(const StateGraph& sg);
+
 /// Insert state signals until the SG satisfies CSC (or give up).
 CscResult resolve_csc(const StateGraph& sg, const CscOptions& opts = {});
 

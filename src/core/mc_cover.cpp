@@ -4,6 +4,7 @@
 
 #include "boolf/minimize.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace sitm {
 
@@ -117,14 +118,36 @@ SignalSynthesis synthesize_signal(const StateGraph& sg, int sig,
   return out;
 }
 
+int resolve_synthesis_threads(const McOptions& opts,
+                              std::size_t num_signals) {
+  return resolve_worker_threads(opts.threads, num_signals);
+}
+
+namespace {
+
+/// Per-signal syntheses in `sigs` order.  The SG is shared read-only; each
+/// signal's synthesis is independent, so any schedule produces the same
+/// per-slot results as the serial loop.
+std::vector<SignalSynthesis> synthesize_signals(const StateGraph& sg,
+                                                const std::vector<int>& sigs,
+                                                const McOptions& opts) {
+  std::vector<SignalSynthesis> out(sigs.size());
+  parallel_for(sigs.size(), opts.threads, [&](std::size_t i) {
+    out[i] = synthesize_signal(sg, sigs[i], opts);
+  });
+  return out;
+}
+
+}  // namespace
+
 Netlist synthesize_all(const StateGraph& sg, const McOptions& opts,
                        std::vector<SignalSynthesis>* out_syntheses) {
   Netlist netlist(&sg);
   if (out_syntheses) out_syntheses->clear();
-  for (int sig : sg.noninput_signals()) {
-    SignalSynthesis synth = synthesize_signal(sg, sig, opts);
+  const std::vector<int> sigs = sg.noninput_signals();
+  for (SignalSynthesis& synth : synthesize_signals(sg, sigs, opts)) {
     SignalImpl impl;
-    impl.signal = sig;
+    impl.signal = synth.signal;
     impl.combinational = synth.combinational;
     impl.complexity = synth.complexity;
     if (synth.combinational) {

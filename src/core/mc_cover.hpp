@@ -62,6 +62,12 @@ struct McOptions {
   /// Extra minimizer refinement passes.
   int minimize_passes = 1;
   Architecture architecture = Architecture::kAuto;
+  /// Worker threads for `synthesize_all`.  Per-signal synthesis only reads
+  /// the (const) SG, so non-input signals are minimized in parallel and the
+  /// results are assembled in serial signal order — the netlist is
+  /// bit-identical for every thread count.  1 = serial, 0 = one thread per
+  /// hardware core.
+  int threads = 1;
 };
 
 /// Monotonous cover for one event.  Throws sitm::Error if the SG violates
@@ -81,5 +87,11 @@ SignalSynthesis synthesize_signal(const StateGraph& sg, int sig,
 /// `out_syntheses` (optional) receives the per-signal details.
 Netlist synthesize_all(const StateGraph& sg, const McOptions& opts = {},
                        std::vector<SignalSynthesis>* out_syntheses = nullptr);
+
+/// Worker count synthesize_all will actually use for `num_signals` work
+/// items: McOptions::threads with 0 resolved to the hardware concurrency,
+/// clamped to the number of signals.  Exposed so reports can record the
+/// true value.
+int resolve_synthesis_threads(const McOptions& opts, std::size_t num_signals);
 
 }  // namespace sitm

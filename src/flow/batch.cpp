@@ -1,0 +1,110 @@
+#include "flow/batch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+
+#include "benchlib/suite.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace sitm {
+
+Json BatchResult::to_json() const {
+  Json j = Json::object();
+  j.set("specs", static_cast<double>(items.size()));
+  j.set("ok", num_ok);
+  j.set("failed", num_failed);
+  j.set("total_ms", total_ms);
+  Json reports = Json::array();
+  for (const auto& item : items) {
+    Json r = item.report.to_json();
+    r.set("label", item.label);
+    reports.push(std::move(r));
+  }
+  j.set("reports", std::move(reports));
+  return j;
+}
+
+std::vector<std::string> collect_spec_files(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir)) throw Error("not a directory: " + dir);
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".g" || ext == ".sg" || ext == ".astg")
+      out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Run one flow per work item on `threads` workers; `run(i)` must fill
+/// items[i].report.  Input order is preserved by indexing.
+BatchResult run_pool(std::vector<BatchItem> items, const BatchOptions& opts,
+                     const std::function<FlowReport(std::size_t)>& run) {
+  BatchResult result;
+  result.items = std::move(items);
+  const auto start = std::chrono::steady_clock::now();
+
+  std::mutex report_mutex;
+  // Items never throw out of the body: the Flow captures stage errors in
+  // the report, and this guards the surroundings (e.g. suite lookup) so
+  // one bad item cannot take down the batch.
+  parallel_for(result.items.size(), opts.threads, [&](std::size_t i) {
+    FlowReport report;
+    try {
+      report = run(i);
+    } catch (const std::exception& e) {
+      report.ok = false;
+      report.failure = e.what();
+      report.name = result.items[i].label;
+    }
+    if (opts.on_report) {
+      const std::lock_guard<std::mutex> lock(report_mutex);
+      opts.on_report(report);
+    }
+    result.items[i].report = std::move(report);
+  });
+
+  for (const auto& item : result.items)
+    (item.report.ok ? result.num_ok : result.num_failed) += 1;
+  result.total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return result;
+}
+
+}  // namespace
+
+BatchResult run_batch_files(const std::vector<std::string>& paths,
+                            const BatchOptions& opts) {
+  std::vector<BatchItem> items(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) items[i].label = paths[i];
+  return run_pool(std::move(items), opts, [&](std::size_t i) {
+    Flow flow(opts.flow);
+    return flow.run_file(paths[i]);
+  });
+}
+
+BatchResult run_batch_suite(const std::vector<std::string>& names,
+                            const BatchOptions& opts) {
+  const std::vector<std::string> labels =
+      names.empty() ? bench::suite_names() : names;
+  std::vector<BatchItem> items(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) items[i].label = labels[i];
+  return run_pool(std::move(items), opts, [&](std::size_t i) {
+    Spec spec;
+    spec.name = labels[i];
+    spec.format = SpecFormat::kG;
+    spec.stg = bench::suite_benchmark(labels[i]).stg;
+    Flow flow(opts.flow);
+    return flow.run_spec(std::move(spec));
+  });
+}
+
+}  // namespace sitm

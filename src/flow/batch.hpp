@@ -1,0 +1,59 @@
+#pragma once
+// Parallel batch driver: run the full staged flow over many specifications
+// on a thread pool and aggregate the per-spec reports into one JSON
+// document (`sitm batch`).
+//
+// Two levels of parallelism compose: the batch pool runs whole flows
+// concurrently (one spec per worker), and each flow's synth stage may
+// additionally parallelize over signals (McOptions::threads).  Results are
+// returned in input order regardless of scheduling, and a failing spec is
+// recorded in its report instead of aborting the batch.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace sitm {
+
+struct BatchOptions {
+  /// Options for each per-spec flow.
+  FlowOptions flow;
+  /// Concurrent flows.  1 = serial, 0 = one per hardware core.
+  int threads = 1;
+  /// Called after each spec finishes (from worker threads, serialized by
+  /// the driver) — progress reporting for the CLI.
+  std::function<void(const FlowReport&)> on_report;
+};
+
+struct BatchItem {
+  std::string label;  ///< file path or suite benchmark name
+  FlowReport report;
+};
+
+struct BatchResult {
+  std::vector<BatchItem> items;  ///< input order
+  int num_ok = 0;
+  int num_failed = 0;
+  double total_ms = 0;
+
+  bool all_ok() const { return num_failed == 0; }
+  /// Aggregate document: batch totals plus every per-spec FlowReport.
+  Json to_json() const;
+};
+
+/// All .g/.sg files directly under `dir`, sorted by name.  Throws
+/// sitm::Error when `dir` is not a directory.
+std::vector<std::string> collect_spec_files(const std::string& dir);
+
+/// Run the flow over explicit spec files.
+BatchResult run_batch_files(const std::vector<std::string>& paths,
+                            const BatchOptions& opts = {});
+
+/// Run the flow over the named Table-1 suite benchmarks (all of them when
+/// `names` is empty).
+BatchResult run_batch_suite(const std::vector<std::string>& names = {},
+                            const BatchOptions& opts = {});
+
+}  // namespace sitm

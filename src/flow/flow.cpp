@@ -1,0 +1,384 @@
+#include "flow/flow.hpp"
+
+#include <chrono>
+#include <fstream>
+
+#include "netlist/writers.hpp"
+#include "sg/properties.hpp"
+#include "sg/sg_io.hpp"
+#include "util/error.hpp"
+
+namespace sitm {
+
+namespace {
+
+constexpr const char* kStageNames[kNumStages] = {
+    "load", "reachability", "properties", "csc", "synth",
+    "decomp", "map", "verify", "emit",
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  return kStageNames[static_cast<int>(stage)];
+}
+
+std::optional<Stage> parse_stage(std::string_view name) {
+  for (int i = 0; i < kNumStages; ++i)
+    if (name == kStageNames[i]) return static_cast<Stage>(i);
+  return std::nullopt;
+}
+
+std::optional<double> StageReport::metric_value(std::string_view name) const {
+  for (const auto& [k, v] : metrics)
+    if (k == name) return v;
+  return std::nullopt;
+}
+
+Json StageReport::to_json() const {
+  Json j = Json::object();
+  j.set("stage", stage_name(stage));
+  j.set("ran", ran);
+  j.set("skipped", skipped);
+  j.set("ok", ok);
+  if (!failure.empty()) j.set("failure", failure);
+  j.set("wall_ms", wall_ms);
+  if (!metrics.empty()) {
+    Json m = Json::object();
+    for (const auto& [k, v] : metrics) m.set(k, v);
+    j.set("metrics", std::move(m));
+  }
+  if (!info.empty()) {
+    Json m = Json::object();
+    for (const auto& [k, v] : info) m.set(k, v);
+    j.set("info", std::move(m));
+  }
+  if (!warnings.empty()) {
+    Json w = Json::array();
+    for (const auto& s : warnings) w.push(s);
+    j.set("warnings", std::move(w));
+  }
+  return j;
+}
+
+Json FlowReport::to_json() const {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("ok", ok);
+  if (failed_stage) j.set("failed_stage", stage_name(*failed_stage));
+  if (!failure.empty()) j.set("failure", failure);
+  j.set("total_ms", total_ms);
+  Json s = Json::array();
+  for (const auto& sr : stages) s.push(sr.to_json());
+  j.set("stages", std::move(s));
+  return j;
+}
+
+FlowReport Flow::run_file(const std::string& path) {
+  input_path_ = path;
+  input_text_.clear();
+  return run_stages(Stage::kLoad);
+}
+
+FlowReport Flow::run_string(const std::string& text) {
+  input_path_.clear();
+  input_text_ = text;
+  return run_stages(Stage::kLoad);
+}
+
+FlowReport Flow::run_spec(Spec spec) {
+  ctx_ = FlowContext{};
+  ctx_.spec = std::move(spec);
+  ctx_.name = ctx_.spec.name;
+  return run_stages(Stage::kReachability);
+}
+
+FlowReport Flow::run_state_graph(StateGraph sg, std::string name) {
+  ctx_ = FlowContext{};
+  ctx_.name = std::move(name);
+  ctx_.spec.name = ctx_.name;
+  ctx_.spec.format = SpecFormat::kSg;
+  ctx_.spec.sg = std::move(sg);
+  return run_stages(Stage::kReachability);
+}
+
+namespace {
+
+/// Load-stage metrics from an already-parsed spec (shared between the real
+/// load stage and the pre-parsed entry points).
+void describe_spec(const Spec& spec, StageReport& sr) {
+  sr.note("format", spec_format_name(spec.format));
+  if (!spec.path.empty()) sr.note("path", spec.path);
+  if (spec.stg) {
+    sr.metric("signals", static_cast<double>(spec.stg->num_signals()));
+    sr.metric("transitions", static_cast<double>(spec.stg->num_transitions()));
+    sr.metric("places", static_cast<double>(spec.stg->num_places()));
+  } else if (spec.sg) {
+    sr.metric("signals", static_cast<double>(spec.sg->num_signals()));
+    sr.metric("states", static_cast<double>(spec.sg->num_states()));
+    sr.metric("arcs", static_cast<double>(spec.sg->num_arcs()));
+  }
+}
+
+}  // namespace
+
+FlowReport Flow::run_stages(Stage first) {
+  if (first == Stage::kLoad) ctx_ = FlowContext{};
+  FlowReport report;
+  for (int i = 0; i < kNumStages; ++i)
+    report.stages[i].stage = static_cast<Stage>(i);
+  const auto flow_start = std::chrono::steady_clock::now();
+
+  for (const Stage s : kAllStages) {
+    StageReport& sr = report.stage(s);
+    if (static_cast<int>(s) < static_cast<int>(first)) {
+      // Satisfied by the input form (pre-parsed spec / explicit SG).
+      sr.ran = true;
+      if (s == Stage::kLoad) describe_spec(ctx_.spec, sr);
+      continue;
+    }
+    const bool spine = s == Stage::kLoad || s == Stage::kReachability;
+    if (opts_.skipped(s) && !spine) {
+      sr.skipped = true;
+    } else {
+      if (opts_.skipped(s) && spine)
+        sr.warnings.push_back(std::string(stage_name(s)) +
+                              " cannot be skipped (input spine); running");
+      const auto start = std::chrono::steady_clock::now();
+      sr.ran = true;
+      try {
+        switch (s) {
+          case Stage::kLoad: stage_load(sr); break;
+          case Stage::kReachability: stage_reachability(sr); break;
+          case Stage::kProperties: stage_properties(sr); break;
+          case Stage::kCsc: stage_csc(sr); break;
+          case Stage::kSynth: stage_synth(sr); break;
+          case Stage::kDecomp: stage_decomp(sr); break;
+          case Stage::kMap: stage_map(sr); break;
+          case Stage::kVerify: stage_verify(sr); break;
+          case Stage::kEmit: stage_emit(sr); break;
+        }
+      } catch (const std::exception& e) {
+        sr.ok = false;
+        if (sr.failure.empty()) sr.failure = e.what();
+      }
+      sr.wall_ms = ms_since(start);
+    }
+    if (!sr.ok) {
+      if (report.ok) {
+        report.ok = false;
+        report.failed_stage = s;
+        report.failure = sr.failure;
+      }
+      // A failed verification still leaves a netlist worth inspecting: the
+      // emit stage runs so requested output files are written anyway (the
+      // report stays failed).  Every other failure stops the flow here.
+      if (s != Stage::kVerify) break;
+    }
+    if (opts_.stop_after == s) break;
+  }
+
+  report.total_ms = ms_since(flow_start);
+  report.name = ctx_.name;
+  return report;
+}
+
+void Flow::stage_load(StageReport& sr) {
+  ctx_.spec = input_path_.empty()
+                  ? load_spec_string(input_text_, opts_.format)
+                  : load_spec_file(input_path_, opts_.format);
+  ctx_.name = ctx_.spec.name;
+  describe_spec(ctx_.spec, sr);
+}
+
+void Flow::stage_reachability(StageReport& sr) {
+  if (ctx_.spec.sg) {
+    // Move rather than copy: the load metrics were already recorded, and a
+    // second full SG would double peak memory for every batch worker.
+    ctx_.sg = std::make_shared<const StateGraph>(std::move(*ctx_.spec.sg));
+    ctx_.spec.sg.reset();
+    sr.note("engine", "explicit state graph input");
+  } else if (ctx_.spec.stg) {
+    ctx_.sg =
+        std::make_shared<const StateGraph>(ctx_.spec.stg->to_state_graph());
+    sr.note("engine", "token game");
+    if (opts_.symbolic_check) {
+      ctx_.bdd = std::make_unique<BddManager>(
+          static_cast<int>(ctx_.spec.stg->num_places()));
+      ctx_.symbolic = symbolic_reachability(*ctx_.spec.stg, *ctx_.bdd);
+      sr.metric("symbolic_markings", ctx_.symbolic->num_markings);
+      sr.metric("symbolic_iterations", ctx_.symbolic->iterations);
+      sr.metric("symbolic_bdd_size",
+                static_cast<double>(ctx_.symbolic->bdd_size));
+      if (ctx_.symbolic->has_deadlock)
+        sr.warnings.push_back("symbolic check: reachable deadlock marking");
+    }
+  } else {
+    throw Error("reachability: no specification loaded");
+  }
+  sr.metric("states", static_cast<double>(ctx_.sg->num_states()));
+  sr.metric("arcs", static_cast<double>(ctx_.sg->num_arcs()));
+  sr.metric("signals", static_cast<double>(ctx_.sg->num_signals()));
+  if (ctx_.symbolic &&
+      ctx_.symbolic->num_markings !=
+          static_cast<double>(ctx_.sg->num_states()))
+    sr.warnings.push_back(
+        "symbolic marking count disagrees with the explicit state count");
+}
+
+void Flow::stage_properties(StageReport& sr) {
+  const StateGraph& sg = *ctx_.sg;
+  const std::pair<const char*, PropertyResult> checks[] = {
+      {"consistency", check_consistency(sg)},
+      {"determinism", check_determinism(sg)},
+      {"commutativity", check_commutativity(sg)},
+      {"output_persistency", check_output_persistency(sg)},
+  };
+  for (const auto& [what, r] : checks)
+    sr.metric(what, r.ok ? 1 : 0);
+  ctx_.csc_analysis = analyze_csc(sg);
+  const int conflicts = ctx_.csc_analysis->conflict_pairs;
+  sr.metric("csc", conflicts == 0 ? 1 : 0);
+  sr.metric("csc_conflict_pairs", conflicts);
+  sr.metric("usc", check_usc(sg).ok ? 1 : 0);
+  for (const auto& [what, r] : checks) {
+    if (!r.ok)
+      throw Error(std::string(what) + ": " + r.why);
+  }
+  if (conflicts > 0) {
+    sr.warnings.push_back("CSC violated: " + std::to_string(conflicts) +
+                          " conflict pair(s)");
+    if (opts_.skipped(Stage::kCsc))
+      sr.warnings.push_back(
+          "csc stage is skipped; downstream synthesis will fail");
+  }
+}
+
+void Flow::stage_csc(StageReport& sr) {
+  if (!ctx_.csc_analysis)  // properties skipped: analyze here instead
+    ctx_.csc_analysis = analyze_csc(*ctx_.sg);
+  const int before = ctx_.csc_analysis->conflict_pairs;
+  sr.metric("conflict_pairs_before", before);
+  if (before == 0) {
+    sr.metric("signals_inserted", 0);
+    sr.note("result", "already satisfied");
+    return;
+  }
+  CscResult resolved = resolve_csc(*ctx_.sg, opts_.csc);
+  if (!resolved.resolved)
+    throw Error("CSC resolution failed: " + resolved.failure);
+  for (const auto& step : resolved.steps)
+    sr.note(step.new_signal,
+            "set after " + resolved.sg->event_string(step.set_after) +
+                ", reset after " +
+                resolved.sg->event_string(step.reset_after) + " (" +
+                std::to_string(step.conflicts_before) + " -> " +
+                std::to_string(step.conflicts_after) + " conflicts)");
+  sr.metric("signals_inserted", resolved.signals_inserted);
+  sr.metric("states_after", static_cast<double>(resolved.sg->num_states()));
+  ctx_.sg = resolved.sg;
+  // The resolved SG satisfies CSC by construction; refresh the cache so
+  // later consumers see the current revision's analysis.
+  ctx_.csc_analysis = CscAnalysis{0, ctx_.sg->empty_set()};
+  ctx_.csc = std::move(resolved);
+}
+
+void Flow::stage_synth(StageReport& sr) {
+  ctx_.synth_sg = ctx_.sg;
+  sr.metric("threads",
+            resolve_synthesis_threads(opts_.mc,
+                                      ctx_.sg->noninput_signals().size()));
+  ctx_.synth_netlist =
+      synthesize_all(*ctx_.synth_sg, opts_.mc, &ctx_.syntheses);
+  ctx_.netlist = ctx_.synth_netlist;
+  sr.metric("signals", static_cast<double>(ctx_.syntheses.size()));
+  sr.metric("literals", ctx_.synth_netlist->total_literals());
+  sr.metric("c_elements", ctx_.synth_netlist->num_c_elements());
+  sr.metric("max_gate_literals", ctx_.synth_netlist->max_gate_complexity());
+}
+
+void Flow::stage_decomp(StageReport& sr) {
+  if (!ctx_.synth_netlist) {
+    sr.ran = false;
+    sr.skipped = true;
+    sr.warnings.push_back("no unconstrained netlist (synth stage skipped)");
+    return;
+  }
+  ctx_.decomp = tech_decomp2(*ctx_.synth_netlist);
+  sr.metric("literals", ctx_.decomp->literals);
+  sr.metric("c_elements", ctx_.decomp->c_elements);
+  sr.metric("gates", static_cast<double>(ctx_.decomp->gates.size()));
+}
+
+void Flow::stage_map(StageReport& sr) {
+  sr.metric("max_literals", opts_.mapper.library.max_literals);
+  MapResult result = technology_map(*ctx_.sg, opts_.mapper);
+  sr.metric("candidates_planned",
+            static_cast<double>(result.candidates_planned));
+  sr.metric("resyntheses", static_cast<double>(result.resyntheses));
+  if (!result.implementable)
+    throw Error("not implementable with " +
+                std::to_string(opts_.mapper.library.max_literals) +
+                "-literal gates: " + result.failure);
+  ctx_.mapped = std::move(result);
+  ctx_.sg = ctx_.mapped->sg;
+  ctx_.netlist = ctx_.mapped->build_netlist(opts_.mapper.mc);
+  ctx_.syntheses = ctx_.mapped->syntheses;
+  sr.metric("signals_inserted", ctx_.mapped->signals_inserted);
+  sr.metric("states_after", static_cast<double>(ctx_.sg->num_states()));
+  sr.metric("literals", ctx_.netlist->total_literals());
+  sr.metric("c_elements", ctx_.netlist->num_c_elements());
+  sr.metric("max_gate_literals", ctx_.netlist->max_gate_complexity());
+}
+
+void Flow::stage_verify(StageReport& sr) {
+  if (!ctx_.netlist) {
+    sr.ran = false;
+    sr.skipped = true;
+    sr.warnings.push_back("no netlist to verify (synth and map skipped)");
+    return;
+  }
+  ctx_.verify =
+      verify_speed_independence(*ctx_.netlist, opts_.verify_max_states);
+  sr.metric("composite_states", static_cast<double>(ctx_.verify->num_states));
+  sr.metric("speed_independent", ctx_.verify->ok ? 1 : 0);
+  if (!ctx_.verify->ok) throw Error(ctx_.verify->why);
+}
+
+void Flow::stage_emit(StageReport& sr) {
+  int files = 0;
+  const auto write_file = [&](const std::string& path,
+                              const std::string& content) {
+    std::ofstream out(path);
+    if (!out) throw Error("cannot write " + path);
+    out << content;
+    ++files;
+    sr.note("wrote", path);
+  };
+  const auto produce = [&](const std::string& path, std::string* capture,
+                           const char* what, auto make) {
+    if (path.empty() && !opts_.capture_emitted) return;
+    if (!ctx_.netlist && std::string_view(what) != "sg") {
+      sr.warnings.push_back(std::string("no netlist; cannot emit ") + what);
+      return;
+    }
+    const std::string text = make();
+    if (opts_.capture_emitted && capture) *capture = text;
+    if (!path.empty()) write_file(path, text);
+  };
+  produce(opts_.emit_sg_path, &ctx_.emitted_sg, "sg",
+          [&] { return write_sg_string(*ctx_.sg, ctx_.name); });
+  produce(opts_.emit_verilog_path, &ctx_.emitted_verilog, "verilog",
+          [&] { return write_verilog_string(*ctx_.netlist, ctx_.name); });
+  produce(opts_.emit_eqn_path, &ctx_.emitted_eqn, "eqn",
+          [&] { return write_eqn_string(*ctx_.netlist, ctx_.name); });
+  sr.metric("files_written", files);
+}
+
+}  // namespace sitm

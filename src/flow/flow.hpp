@@ -1,0 +1,247 @@
+#pragma once
+// The staged synthesis flow engine.
+//
+// The paper's flow is a fixed sequence of stages
+//
+//   load -> reachability -> properties -> csc -> synth -> decomp -> map
+//        -> verify -> emit
+//
+// that used to be re-wired by hand at every call site (the CLI, each
+// example, the integration tests).  `Flow` runs that sequence off one
+// `FlowOptions` struct, with
+//   * a shared `FlowContext` owning the expensive artifacts the stages
+//     exchange (the current StateGraph revision, the cached CSC conflict
+//     analysis, the BDD manager of the symbolic cross-check, the minimized
+//     covers and netlists),
+//   * one structured `StageReport` per stage (wall time, state/literal
+//     counts, warnings) serializable to JSON, and
+//   * `stop_after` / per-stage `skip` controls.
+//
+// Stage semantics:
+//   load          parse .g/.sg text into a Spec (shared loader)
+//   reachability  token-game reachability (Stg -> StateGraph); optional
+//                 symbolic (BDD) cross-check
+//   properties    consistency / determinism / commutativity / output
+//                 persistency; CSC + USC status recorded (CSC violations are
+//                 the csc stage's job, not a failure here)
+//   csc           insert state signals until CSC holds (skipped work when
+//                 the cached analysis already shows zero conflicts)
+//   synth         per-signal monotonous-cover synthesis (parallel over
+//                 non-input signals per McOptions::threads; bit-identical to
+//                 serial) into the unconstrained standard-C netlist
+//   decomp        non-SI tech_decomp2 area baseline of that netlist
+//   map           technology mapping onto the gate library (replaces the SG
+//                 and netlist with the decomposed versions)
+//   verify        gate-level speed-independence check of the final netlist
+//   emit          write .sg / Verilog / .eqn outputs
+//
+// A stage failure (violated property, unresolvable CSC, unimplementable
+// spec, failed verification, or any thrown sitm::Error) stops the flow and
+// is recorded in the report instead of propagating — the batch driver relies
+// on this to keep going across a corpus.  One exception: after a *verify*
+// failure the emit stage still runs, so requested output files are written
+// for inspection of the failing netlist (the report stays failed).
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "core/csc.hpp"
+#include "core/mapper.hpp"
+#include "core/mc_cover.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/si_verify.hpp"
+#include "netlist/tech_decomp.hpp"
+#include "sg/state_graph.hpp"
+#include "stg/load.hpp"
+#include "stg/symbolic.hpp"
+#include "util/json.hpp"
+
+namespace sitm {
+
+enum class Stage : int {
+  kLoad = 0,
+  kReachability,
+  kProperties,
+  kCsc,
+  kSynth,
+  kDecomp,
+  kMap,
+  kVerify,
+  kEmit,
+};
+inline constexpr int kNumStages = 9;
+inline constexpr std::array<Stage, kNumStages> kAllStages = {
+    Stage::kLoad,   Stage::kReachability, Stage::kProperties,
+    Stage::kCsc,    Stage::kSynth,        Stage::kDecomp,
+    Stage::kMap,    Stage::kVerify,       Stage::kEmit,
+};
+
+const char* stage_name(Stage stage);
+/// Inverse of stage_name; nullopt for unknown names.
+std::optional<Stage> parse_stage(std::string_view name);
+
+struct FlowOptions {
+  /// Input format for run_file / run_string (kAuto sniffs).
+  SpecFormat format = SpecFormat::kAuto;
+  /// Synth-stage options; mc.threads controls per-signal parallelism.
+  McOptions mc;
+  CscOptions csc;
+  MapperOptions mapper;
+  std::size_t verify_max_states = std::size_t{1} << 20;
+  /// Run the symbolic (BDD) reachability cross-check in the reachability
+  /// stage (.g specs only); mismatches are reported as warnings.
+  bool symbolic_check = false;
+
+  /// Stop after this stage completes (inclusive); later stages are left
+  /// un-run and the report stays ok.
+  std::optional<Stage> stop_after;
+  /// Per-stage skips.  load/reachability are the input spine and cannot be
+  /// skipped; a stage whose inputs were skipped away is auto-skipped with a
+  /// warning.
+  std::array<bool, kNumStages> skip{};
+  void set_skip(Stage stage, bool value = true) {
+    skip[static_cast<int>(stage)] = value;
+  }
+  bool skipped(Stage stage) const { return skip[static_cast<int>(stage)]; }
+
+  /// Emit-stage outputs; empty paths are not written.
+  std::string emit_sg_path;
+  std::string emit_verilog_path;
+  std::string emit_eqn_path;
+  /// Keep the emitted strings in the context (for callers that want the
+  /// text without touching the filesystem).
+  bool capture_emitted = false;
+};
+
+/// Structured result of one stage.
+struct StageReport {
+  Stage stage = Stage::kLoad;
+  bool ran = false;      ///< body executed (false when skipped/not reached)
+  bool skipped = false;  ///< skipped by options or missing inputs
+  bool ok = true;        ///< false only when this stage failed the flow
+  std::string failure;   ///< nonempty when !ok
+  double wall_ms = 0;
+  /// Named numeric results in emission order (state counts, literal
+  /// counts, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Named string results (format, inserted signal descriptions, ...).
+  std::vector<std::pair<std::string, std::string>> info;
+  std::vector<std::string> warnings;
+
+  void metric(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  void note(std::string name, std::string value) {
+    info.emplace_back(std::move(name), std::move(value));
+  }
+  /// Metric lookup; nullopt when absent.
+  std::optional<double> metric_value(std::string_view name) const;
+
+  Json to_json() const;
+};
+
+/// Result of one flow run: per-stage reports plus the overall verdict.
+struct FlowReport {
+  std::string name;
+  bool ok = true;
+  std::optional<Stage> failed_stage;
+  std::string failure;  ///< failure of the failed stage
+  double total_ms = 0;
+  std::array<StageReport, kNumStages> stages;
+
+  StageReport& stage(Stage s) { return stages[static_cast<int>(s)]; }
+  const StageReport& stage(Stage s) const {
+    return stages[static_cast<int>(s)];
+  }
+
+  Json to_json() const;
+  std::string to_json_string(int indent = 2) const {
+    return to_json().dump(indent);
+  }
+};
+
+/// Shared artifact store: everything stages hand to each other lives here
+/// and stays alive (and inspectable) after the run.
+struct FlowContext {
+  /// Parsed input; owns the Stg for .g specs.  For explicit-SG input the
+  /// reachability stage moves spec.sg into `sg` below (no second copy).
+  Spec spec;
+  std::string name = "spec";
+
+  /// Current SG revision: reachability result, then the CSC-resolved SG,
+  /// then the mapped SG.  Earlier revisions stay alive through `csc` /
+  /// `mapped` below, so netlists referencing them remain valid.
+  std::shared_ptr<const StateGraph> sg;
+
+  /// Symbolic cross-check artifacts (reachability stage, symbolic_check).
+  std::unique_ptr<BddManager> bdd;
+  std::optional<SymbolicReachability> symbolic;
+
+  /// Cached CSC conflict analysis of the *pre-resolution* SG, computed once
+  /// in the properties stage and reused by the csc stage.
+  std::optional<CscAnalysis> csc_analysis;
+  std::optional<CscResult> csc;
+
+  /// Unconstrained synthesis of the (post-CSC) SG: per-signal minimized
+  /// covers and the standard-C netlist.  `synth_sg` is the revision the
+  /// netlist references.
+  std::shared_ptr<const StateGraph> synth_sg;
+  std::vector<SignalSynthesis> syntheses;
+  std::optional<Netlist> synth_netlist;
+
+  std::optional<TechDecompResult> decomp;
+
+  std::optional<MapResult> mapped;
+  /// Final netlist: the mapped netlist when the map stage ran, otherwise the
+  /// unconstrained one.
+  std::optional<Netlist> netlist;
+
+  std::optional<SiVerifyResult> verify;
+
+  /// Captured emit-stage outputs (FlowOptions::capture_emitted).
+  std::string emitted_sg, emitted_verilog, emitted_eqn;
+};
+
+class Flow {
+ public:
+  explicit Flow(FlowOptions opts = {}) : opts_(std::move(opts)) {}
+
+  const FlowOptions& options() const { return opts_; }
+  FlowContext& context() { return ctx_; }
+  const FlowContext& context() const { return ctx_; }
+
+  /// Run the full staged sequence from a file / in-memory text.
+  FlowReport run_file(const std::string& path);
+  FlowReport run_string(const std::string& text);
+  /// Run from a pre-parsed spec (e.g. a suite entry); the load stage is
+  /// recorded from the spec without re-parsing.
+  FlowReport run_spec(Spec spec);
+  /// Run from an explicit SG (load + reachability recorded as satisfied).
+  FlowReport run_state_graph(StateGraph sg, std::string name = "spec");
+
+ private:
+  FlowReport run_stages(Stage first);
+  /// Stage bodies; throw sitm::Error (or return false with sr.failure set)
+  /// to fail the flow.
+  void stage_load(StageReport& sr);
+  void stage_reachability(StageReport& sr);
+  void stage_properties(StageReport& sr);
+  void stage_csc(StageReport& sr);
+  void stage_synth(StageReport& sr);
+  void stage_decomp(StageReport& sr);
+  void stage_map(StageReport& sr);
+  void stage_verify(StageReport& sr);
+  void stage_emit(StageReport& sr);
+
+  FlowOptions opts_;
+  FlowContext ctx_;
+  /// run_file/run_string stash the input here for the load stage.
+  std::string input_text_, input_path_;
+};
+
+}  // namespace sitm

@@ -34,6 +34,9 @@ struct SignalImpl {
   /// Literal complexity of the whole implementation as published: the
   /// combinational gate, or max over the set/reset gates.
   int complexity = 0;
+
+  /// Structural equality (same covers, complexities, architecture).
+  bool operator==(const SignalImpl&) const = default;
 };
 
 /// The paper's gate complexity measure: min(literals(sop), literals(sop of
@@ -63,6 +66,12 @@ class Netlist {
   std::vector<int> complexity_histogram() const;
   /// Largest gate complexity in the netlist.
   int max_gate_complexity() const;
+
+  /// Structural equality of the implementations (the SGs may be distinct
+  /// objects) — bit-identity across serial and parallel synthesis.
+  bool same_impls(const Netlist& other) const {
+    return impls_ == other.impls_;
+  }
 
   /// Pretty printer ("a = C(set = ..., reset = ...)").
   std::string to_string() const;

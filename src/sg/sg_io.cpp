@@ -26,10 +26,12 @@ StateGraph read_sg(std::istream& in, std::string* name) {
   std::map<std::string, StateId, std::less<>> ids;
   struct RawArc {
     std::string from, event, to;
+    int line = 0;
   };
   std::vector<RawArc> arcs;
   std::string initial_name, initial_code;
   bool in_graph = false;
+  int line_no = 0, initial_line = 0;
 
   auto state_id = [&](std::string_view token) -> StateId {
     auto it = ids.find(token);
@@ -41,6 +43,7 @@ StateGraph read_sg(std::istream& in, std::string* name) {
 
   std::string line;
   while (std::getline(in, line)) {
+    ++line_no;
     const auto text = trim(line);
     if (text.empty() || text[0] == '#') continue;
     const auto tokens = split_ws(text);
@@ -56,31 +59,43 @@ StateGraph read_sg(std::istream& in, std::string* name) {
     } else if (head == ".graph") {
       in_graph = true;
     } else if (head == ".initial") {
-      if (tokens.size() != 3) throw Error(".initial needs <state> <code>");
+      if (tokens.size() != 3)
+        throw ParseError(".initial needs <state> <code>", line_no);
       initial_name = std::string(tokens[1]);
       initial_code = std::string(tokens[2]);
+      initial_line = line_no;
     } else if (head == ".end") {
       break;
     } else if (in_graph) {
-      if (tokens.size() != 3) throw Error("graph line needs 3 tokens: " + line);
+      if (tokens.size() != 3)
+        throw ParseError("graph line needs 3 tokens: " + line, line_no);
       arcs.push_back(RawArc{std::string(tokens[0]), std::string(tokens[1]),
-                            std::string(tokens[2])});
+                            std::string(tokens[2]), line_no});
       state_id(tokens[0]);
       state_id(tokens[2]);
     } else {
-      throw Error("unexpected line: " + line);
+      throw ParseError("unexpected line: " + line, line_no);
     }
   }
 
   if (initial_name.empty()) throw Error(".initial missing");
   if (static_cast<int>(initial_code.size()) != sg.num_signals())
-    throw Error(".initial code length != number of signals");
+    throw ParseError(".initial code length != number of signals",
+                     initial_line);
 
-  for (const auto& arc : arcs)
-    sg.add_arc(ids.at(arc.from), parse_event(sg, arc.event), ids.at(arc.to));
+  for (const auto& arc : arcs) {
+    try {
+      sg.add_arc(ids.at(arc.from), parse_event(sg, arc.event), ids.at(arc.to));
+    } catch (const ParseError&) {
+      throw;
+    } catch (const Error& e) {
+      throw ParseError(e.what(), arc.line);
+    }
+  }
 
   const auto init_it = ids.find(initial_name);
-  if (init_it == ids.end()) throw Error("unknown initial state " + initial_name);
+  if (init_it == ids.end())
+    throw ParseError("unknown initial state " + initial_name, initial_line);
   sg.set_initial(init_it->second);
 
   // Propagate codes from the initial state; verify agreement on re-visit.
@@ -89,7 +104,7 @@ StateGraph read_sg(std::istream& in, std::string* name) {
     if (initial_code[i] == '1')
       init |= StateCode{1} << i;
     else if (initial_code[i] != '0')
-      throw Error("initial code must be 0/1 string");
+      throw ParseError("initial code must be 0/1 string", initial_line);
   }
   std::vector<int> known(sg.num_states(), 0);
   std::vector<StateCode> code(sg.num_states(), 0);

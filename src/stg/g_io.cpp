@@ -47,7 +47,18 @@ Stg read_g(std::istream& in, std::string* name) {
   Stg stg;
   std::map<std::string, PlaceId, std::less<>> places;
   bool in_graph = false;
-  std::vector<std::string> marking_tokens;
+  struct MarkingToken {
+    std::string token;
+    int line = 0;
+  };
+  std::vector<MarkingToken> marking_tokens;
+  int line_no = 0;
+
+  std::string line;
+  // 1-based column of a token that is a view into `line`.
+  auto col_of = [&](std::string_view token) {
+    return static_cast<int>(token.data() - line.data()) + 1;
+  };
 
   // Node handle: a transition id or an explicit place id.
   struct NodeRef {
@@ -59,7 +70,9 @@ Stg read_g(std::istream& in, std::string* name) {
     if (parse_transition_token(token, &tr)) {
       const int sig = stg.find_signal(tr.signal);
       if (sig < 0)
-        throw Error("transition of undeclared signal: " + std::string(token));
+        throw ParseError(
+            ".g: transition of undeclared signal: " + std::string(token),
+            line_no, col_of(token));
       TransId t = stg.find_transition(sig, tr.rising, tr.instance);
       if (t < 0) t = stg.add_transition(sig, tr.rising, tr.instance);
       return NodeRef{false, t};
@@ -72,8 +85,8 @@ Stg read_g(std::istream& in, std::string* name) {
     return NodeRef{true, it->second};
   };
 
-  std::string line;
   while (std::getline(in, line)) {
+    ++line_no;
     const auto text = trim(line);
     if (text.empty() || text[0] == '#') continue;
     auto tokens = split_ws(text);
@@ -87,21 +100,23 @@ Stg read_g(std::istream& in, std::string* name) {
       for (std::size_t i = 1; i < tokens.size(); ++i)
         stg.add_signal(std::string(tokens[i]), kind);
     } else if (head == ".dummy") {
-      throw Error(".g reader: dummy transitions are not supported");
+      throw ParseError(".g reader: dummy transitions are not supported",
+                       line_no, col_of(head));
     } else if (head == ".graph") {
       in_graph = true;
     } else if (head == ".marking") {
       std::string rest(text.substr(head.size()));
       for (char& c : rest)
         if (c == '{' || c == '}') c = ' ';
-      for (auto tok : split_ws(rest)) marking_tokens.emplace_back(tok);
+      for (auto tok : split_ws(rest))
+        marking_tokens.push_back({std::string(tok), line_no});
     } else if (head == ".end") {
       break;
     } else if (head[0] == '.') {
       // Ignore unknown directives (.coords, .capacity, ...).
     } else if (in_graph) {
       if (tokens.size() < 2)
-        throw Error(".g graph line needs >= 2 tokens: " + line);
+        throw ParseError(".g graph line needs >= 2 tokens: " + line, line_no);
       const NodeRef src = resolve(tokens[0]);
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         const NodeRef dst = resolve(tokens[i]);
@@ -112,30 +127,35 @@ Stg read_g(std::istream& in, std::string* name) {
         } else if (src.is_place && !dst.is_place) {
           stg.connect_pt(src.id, dst.id);
         } else {
-          throw Error(".g: place-to-place arc not allowed: " + line);
+          throw ParseError(".g: place-to-place arc not allowed: " + line,
+                           line_no, col_of(tokens[i]));
         }
       }
     } else {
-      throw Error(".g: unexpected line: " + line);
+      throw ParseError(".g: unexpected line: " + line, line_no);
     }
   }
 
   // Marking: explicit places by name, implicit places as <t1,t2>.
-  for (const auto& token : marking_tokens) {
+  for (const auto& [token, token_line] : marking_tokens) {
     if (token.front() == '<') {
-      if (token.back() != '>') throw Error(".g: bad marking token " + token);
+      if (token.back() != '>')
+        throw ParseError(".g: bad marking token " + token, token_line);
       const auto comma = token.find(',');
       if (comma == std::string::npos)
-        throw Error(".g: bad implicit place " + token);
-      auto trans_of = [&](std::string_view t) -> TransId {
+        throw ParseError(".g: bad implicit place " + token, token_line);
+      auto trans_of = [&, token_line = token_line](std::string_view t) -> TransId {
         TransRef tr;
         if (!parse_transition_token(t, &tr))
-          throw Error(".g: bad transition in marking: " + std::string(t));
+          throw ParseError(".g: bad transition in marking: " + std::string(t),
+                           token_line);
         const int sig = stg.find_signal(tr.signal);
         const TransId id =
             sig < 0 ? -1 : stg.find_transition(sig, tr.rising, tr.instance);
         if (id < 0)
-          throw Error(".g: unknown transition in marking: " + std::string(t));
+          throw ParseError(
+              ".g: unknown transition in marking: " + std::string(t),
+              token_line);
         return id;
       };
       const TransId from = trans_of(token.substr(1, comma - 1));
@@ -145,7 +165,7 @@ Stg read_g(std::istream& in, std::string* name) {
     } else {
       auto it = places.find(token);
       if (it == places.end())
-        throw Error(".g: unknown place in marking: " + token);
+        throw ParseError(".g: unknown place in marking: " + token, token_line);
       stg.mark_initial(it->second);
     }
   }

@@ -1,0 +1,64 @@
+#include "stg/load.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sg/sg_io.hpp"
+#include "stg/g_io.hpp"
+#include "util/error.hpp"
+#include "util/text.hpp"
+
+namespace sitm {
+
+const char* spec_format_name(SpecFormat format) {
+  switch (format) {
+    case SpecFormat::kAuto: return "auto";
+    case SpecFormat::kG: return "g";
+    case SpecFormat::kSg: return "sg";
+  }
+  return "?";
+}
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+SpecFormat sniff_spec_format(const std::string& path,
+                             const std::string& text) {
+  const std::string_view p = path;
+  if (p.ends_with(".sg")) return SpecFormat::kSg;
+  if (p.ends_with(".g") || p.ends_with(".astg")) return SpecFormat::kG;
+  // Extension is inconclusive (stdin, suite entries, odd names): the
+  // ".initial <state> <code>" directive exists only in the .sg format.
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto t = trim(line);
+    if (starts_with(t, ".initial")) return SpecFormat::kSg;
+    if (starts_with(t, ".marking")) return SpecFormat::kG;
+  }
+  return SpecFormat::kG;
+}
+
+Spec load_spec_string(const std::string& text, SpecFormat format,
+                      const std::string& path) {
+  Spec spec;
+  spec.path = path;
+  spec.format =
+      format == SpecFormat::kAuto ? sniff_spec_format(path, text) : format;
+  if (spec.format == SpecFormat::kSg)
+    spec.sg = read_sg_string(text, &spec.name);
+  else
+    spec.stg = read_g_string(text, &spec.name);
+  return spec;
+}
+
+Spec load_spec_file(const std::string& path, SpecFormat format) {
+  return load_spec_string(slurp_file(path), format, path);
+}
+
+}  // namespace sitm

@@ -1,0 +1,48 @@
+#pragma once
+// Shared specification loader: one place that slurps a file and sniffs
+// whether it is an astg ".g" Signal Transition Graph or an explicit ".sg"
+// State Graph, replacing the copies of this logic that used to live in the
+// CLI and every example.  The flow's load stage is built on it.
+
+#include <optional>
+#include <string>
+
+#include "sg/state_graph.hpp"
+#include "stg/stg.hpp"
+
+namespace sitm {
+
+/// On-disk specification formats.  kAuto sniffs from the file extension and,
+/// failing that, from the text itself.
+enum class SpecFormat { kAuto, kG, kSg };
+
+const char* spec_format_name(SpecFormat format);
+
+/// A parsed specification, before reachability.  Exactly one of `stg` (for
+/// .g input, whose state graph still has to be computed by the token game)
+/// and `sg` (for .sg input, already explicit) is set.
+struct Spec {
+  std::string name = "spec";
+  std::string path;  ///< source file; empty for in-memory text
+  SpecFormat format = SpecFormat::kG;  ///< resolved format, never kAuto
+  std::optional<Stg> stg;
+  std::optional<StateGraph> sg;
+};
+
+/// Read a whole file; throws sitm::Error when it cannot be opened.
+std::string slurp_file(const std::string& path);
+
+/// Resolve kAuto: ".sg" extension or an ".initial" directive in the text
+/// selects the State Graph format, everything else parses as astg ".g".
+SpecFormat sniff_spec_format(const std::string& path, const std::string& text);
+
+/// Parse `text` (with `path` used only for format sniffing and messages).
+Spec load_spec_string(const std::string& text,
+                      SpecFormat format = SpecFormat::kAuto,
+                      const std::string& path = "");
+
+/// Slurp + parse one file.
+Spec load_spec_file(const std::string& path,
+                    SpecFormat format = SpecFormat::kAuto);
+
+}  // namespace sitm

@@ -7,10 +7,19 @@ namespace sitm {
 SymbolicReachability symbolic_reachability(const Stg& stg) {
   const int places = static_cast<int>(stg.num_places());
   if (places > 64) throw Error("symbolic_reachability: more than 64 places");
+  BddManager mgr(places);
+  return symbolic_reachability(stg, mgr);
+}
+
+SymbolicReachability symbolic_reachability(const Stg& stg, BddManager& mgr) {
+  const int places = static_cast<int>(stg.num_places());
+  if (places > 64) throw Error("symbolic_reachability: more than 64 places");
+  if (mgr.num_vars() != places)
+    throw Error("symbolic_reachability: manager sized for " +
+                std::to_string(mgr.num_vars()) + " variables, net has " +
+                std::to_string(places) + " places");
   if (stg.initial_marking().empty())
     throw Error("symbolic_reachability: empty initial marking");
-
-  BddManager mgr(places);
 
   // Initial marking as a minterm over place variables.
   BddRef reached = mgr.bdd_true();

@@ -32,4 +32,10 @@ struct SymbolicReachability {
 /// being diagnosed (use the explicit engine for diagnosis).
 SymbolicReachability symbolic_reachability(const Stg& stg);
 
+/// As above, but on a caller-owned manager (must be sized to exactly one
+/// variable per place).  The flow context owns the manager so the reachable
+/// set and the unique/ITE tables stay alive for later inspection instead of
+/// being torn down when the stage returns.
+SymbolicReachability symbolic_reachability(const Stg& stg, BddManager& mgr);
+
 }  // namespace sitm

@@ -2,30 +2,34 @@
 //
 //   sitm info   <file.g|file.sg>           specification statistics & checks
 //   sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] [--eqn out.eqn]
-//                                          CSC-resolve (if needed) + map
-//   sitm verify <file>                     synthesize + gate-level SI check
+//               [--threads N] [--stop-after STAGE] [--skip STAGE]
+//               [--json report.json]       staged flow: CSC-resolve + map
+//   sitm verify <file> [--threads N] [--json report.json]
+//                                          synthesize + gate-level SI check
+//   sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]
+//               [--stop-after STAGE] [--skip STAGE] [--json report.json]
+//                                          full flow over a spec corpus
 //   sitm bench  <name|list>                dump a suite benchmark as .g
 //
+// map/verify/batch are thin shells over the staged Flow engine
+// (src/flow/): stages load, reachability, properties, csc, synth, decomp,
+// map, verify, emit, each with a structured report serializable to JSON.
 // Files ending in ".sg" are parsed as State Graphs, everything else as
 // astg ".g" Signal Transition Graphs.
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include "benchlib/suite.hpp"
-#include "core/csc.hpp"
-#include "core/mapper.hpp"
-#include "core/mc_cover.hpp"
-#include "netlist/si_verify.hpp"
-#include "netlist/tech_decomp.hpp"
-#include "netlist/writers.hpp"
+#include "flow/batch.hpp"
+#include "flow/flow.hpp"
 #include "sg/properties.hpp"
-#include "sg/sg_io.hpp"
 #include "stg/g_io.hpp"
+#include "stg/load.hpp"
 #include "stg/symbolic.hpp"
 #include "util/error.hpp"
 
@@ -34,54 +38,139 @@ namespace {
 using namespace sitm;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  sitm info   <file.g|file.sg>\n"
-               "  sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] "
-               "[--eqn out.eqn]\n"
-               "  sitm verify <file>\n"
-               "  sitm bench  <name|list>\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sitm info   <file.g|file.sg>\n"
+      "  sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] "
+      "[--eqn out.eqn]\n"
+      "              [--threads N] [--stop-after STAGE] [--skip STAGE] "
+      "[--json out.json]\n"
+      "  sitm verify <file> [--threads N] [--json out.json]\n"
+      "  sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]\n"
+      "              [--stop-after STAGE] [--skip STAGE] [--json out.json]\n"
+      "  sitm bench  <name|list>\n"
+      "stages: load reachability properties csc synth decomp map verify "
+      "emit\n");
   return 2;
 }
 
-std::string slurp(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw Error("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
+/// Strict integer argument: the whole token must be a number >= min.
+bool parse_int_arg(const char* s, int min, int* out) {
+  if (!s || !*s) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (*end != '\0' || v < min || v > 1 << 20) return false;
+  *out = static_cast<int>(v);
+  return true;
 }
 
-bool ends_with(const std::string& s, const char* suffix) {
-  const std::size_t n = std::strlen(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+/// Shared flow-control flags (--stop-after/--skip/--json/...).  Returns
+/// false on a malformed argument.
+struct FlowArgs {
+  FlowOptions flow;
+  std::string json_path;
+  int batch_threads = 1;
+  bool synth_threads_set = false;
+
+  bool consume(int argc, char** argv, int& i, std::string* path) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-i") {
+      if (!parse_int_arg(next(), 1, &flow.mapper.library.max_literals))
+        return false;
+    } else if (arg == "--threads") {
+      // Single-spec commands feed this to the synth stage; batch uses it
+      // for the spec pool (with --synth-threads for the inner level).
+      if (!parse_int_arg(next(), 0, &batch_threads)) return false;
+    } else if (arg == "--synth-threads") {
+      if (!parse_int_arg(next(), 0, &flow.mc.threads)) return false;
+      synth_threads_set = true;
+    } else if (arg == "--stop-after") {
+      const char* v = next();
+      if (!v) return false;
+      const auto stage = parse_stage(v);
+      if (!stage) {
+        std::fprintf(stderr, "unknown stage: %s\n", v);
+        return false;
+      }
+      flow.stop_after = *stage;
+    } else if (arg == "--skip") {
+      const char* v = next();
+      if (!v) return false;
+      const auto stage = parse_stage(v);
+      if (!stage) {
+        std::fprintf(stderr, "unknown stage: %s\n", v);
+        return false;
+      }
+      flow.set_skip(*stage);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      json_path = v;
+    } else if (arg == "-o") {
+      const char* v = next();
+      if (!v) return false;
+      flow.emit_sg_path = v;
+    } else if (arg == "--verilog") {
+      const char* v = next();
+      if (!v) return false;
+      flow.emit_verilog_path = v;
+    } else if (arg == "--eqn") {
+      const char* v = next();
+      if (!v) return false;
+      flow.emit_eqn_path = v;
+    } else if (path && path->empty() && arg[0] != '-') {
+      *path = arg;
+    } else {
+      return false;
+    }
+    return true;
+  }
+};
+
+void write_json_file(const std::string& path, const Json& j) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  out << j.dump(2) << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
-/// Load either format into an SG (plus the name).
-StateGraph load(const std::string& path, std::string* name) {
-  const std::string text = slurp(path);
-  if (ends_with(path, ".sg")) return read_sg_string(text, name);
-  const Stg stg = read_g_string(text, name);
-  return stg.to_state_graph();
+/// Human summary of one flow run: per-stage line with the key metrics.
+void print_report(const FlowReport& report) {
+  for (const auto& sr : report.stages) {
+    if (!sr.ran && !sr.skipped) continue;
+    std::printf("  %-12s", stage_name(sr.stage));
+    if (sr.skipped && !sr.ran) {
+      std::printf(" skipped\n");
+      continue;
+    }
+    std::printf(" %8.2f ms ", sr.wall_ms);
+    for (const auto& [k, v] : sr.metrics)
+      std::printf(" %s=%g", k.c_str(), v);
+    if (!sr.ok) std::printf("  FAILED: %s", sr.failure.c_str());
+    std::printf("\n");
+    for (const auto& w : sr.warnings)
+      std::printf("               warning: %s\n", w.c_str());
+  }
 }
 
 int cmd_info(const std::string& path) {
-  std::string name = "spec";
-  const std::string text = slurp(path);
-  if (!ends_with(path, ".sg")) {
-    const Stg stg = read_g_string(text, &name);
-    const auto sym = symbolic_reachability(stg);
+  const Spec spec = load_spec_file(path);
+  if (spec.stg) {
+    const auto sym = symbolic_reachability(*spec.stg);
     std::printf("%s: %zu transitions, %zu places, %.0f reachable markings "
                 "(%d symbolic iterations)%s\n",
-                name.c_str(), stg.num_transitions(), stg.num_places(),
-                sym.num_markings, sym.iterations,
+                spec.name.c_str(), spec.stg->num_transitions(),
+                spec.stg->num_places(), sym.num_markings, sym.iterations,
                 sym.has_deadlock ? ", DEADLOCK" : "");
   }
   const StateGraph sg =
-      ends_with(path, ".sg") ? read_sg_string(text, &name)
-                             : read_g_string(text).to_state_graph();
+      spec.sg ? *spec.sg : spec.stg->to_state_graph();
   std::printf("%s: %d signals (%zu inputs), %zu states, %zu arcs\n",
-              name.c_str(), sg.num_signals(), sg.input_signals().size(),
+              spec.name.c_str(), sg.num_signals(), sg.input_signals().size(),
               sg.num_states(), sg.num_arcs());
   auto report = [&](const char* what, const PropertyResult& r) {
     std::printf("  %-20s %s\n", what, r ? "ok" : r.why.c_str());
@@ -103,90 +192,105 @@ int cmd_info(const std::string& path) {
 }
 
 int cmd_map(int argc, char** argv) {
-  std::string path, out_sg, out_v, out_eqn;
-  int max_literals = 2;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "-i" && i + 1 < argc) {
-      max_literals = std::atoi(argv[++i]);
-    } else if (arg == "-o" && i + 1 < argc) {
-      out_sg = argv[++i];
-    } else if (arg == "--verilog" && i + 1 < argc) {
-      out_v = argv[++i];
-    } else if (arg == "--eqn" && i + 1 < argc) {
-      out_eqn = argv[++i];
-    } else if (path.empty() && arg[0] != '-') {
-      path = arg;
-    } else {
-      return usage();
-    }
-  }
-  if (path.empty() || max_literals < 1) return usage();
+  std::string path;
+  FlowArgs args;
+  for (int i = 2; i < argc; ++i)
+    if (!args.consume(argc, argv, i, &path)) return usage();
+  if (path.empty()) return usage();
+  if (!args.synth_threads_set) args.flow.mc.threads = args.batch_threads;
 
-  std::string name = "spec";
-  StateGraph sg = load(path, &name);
-
-  if (!check_csc(sg)) {
-    std::printf("CSC violated (%d conflict pairs); resolving...\n",
-                count_csc_conflicts(sg));
-    const CscResult resolved = resolve_csc(sg);
-    if (!resolved.resolved) {
-      std::fprintf(stderr, "CSC resolution failed: %s\n",
-                   resolved.failure.c_str());
-      return 1;
-    }
-    std::printf("inserted %d state signal(s)\n", resolved.signals_inserted);
-    sg = *resolved.sg;
-  }
-
-  MapperOptions opts;
-  opts.library.max_literals = max_literals;
-  const MapResult result = technology_map(sg, opts);
-  if (!result.implementable) {
-    std::fprintf(stderr, "not implementable with %d-literal gates: %s\n",
-                 max_literals, result.failure.c_str());
+  Flow flow(args.flow);
+  const FlowReport report = flow.run_file(path);
+  print_report(report);
+  const FlowContext& ctx = flow.context();
+  if (ctx.netlist && report.stage(Stage::kMap).ran)
+    std::printf("mapped onto <=%d-literal gates:\n%s",
+                args.flow.mapper.library.max_literals,
+                ctx.netlist->to_string().c_str());
+  if (!args.json_path.empty())
+    write_json_file(args.json_path, report.to_json());
+  if (!report.ok) {
+    std::fprintf(stderr, "%s: %s failed: %s\n", report.name.c_str(),
+                 stage_name(*report.failed_stage), report.failure.c_str());
     return 1;
   }
-  const Netlist netlist = result.build_netlist();
-  std::printf("mapped onto <=%d-literal gates: %d inserted signal(s), "
-              "%d literals, %d C elements\n%s",
-              max_literals, result.signals_inserted, netlist.total_literals(),
-              netlist.num_c_elements(), netlist.to_string().c_str());
-
-  const SiVerifyResult verify = verify_speed_independence(netlist);
-  std::printf("gate-level SI verification: %s\n",
-              verify.ok ? "PASS" : verify.why.c_str());
-
-  auto dump = [&](const std::string& file, const std::string& content) {
-    std::ofstream out(file);
-    if (!out) throw Error("cannot write " + file);
-    out << content;
-    std::printf("wrote %s\n", file.c_str());
-  };
-  if (!out_sg.empty()) dump(out_sg, write_sg_string(*result.sg, name));
-  if (!out_v.empty()) dump(out_v, write_verilog_string(netlist, name));
-  if (!out_eqn.empty()) dump(out_eqn, write_eqn_string(netlist, name));
-  return verify.ok ? 0 : 1;
+  return 0;
 }
 
-int cmd_verify(const std::string& path) {
-  std::string name;
-  const StateGraph sg = load(path, &name);
-  if (auto r = check_implementability(sg); !r) {
-    std::printf("specification not implementable: %s\n", r.why.c_str());
+int cmd_verify(int argc, char** argv) {
+  std::string path;
+  FlowArgs args;
+  for (int i = 2; i < argc; ++i)
+    if (!args.consume(argc, argv, i, &path)) return usage();
+  if (path.empty()) return usage();
+  if (!args.synth_threads_set) args.flow.mc.threads = args.batch_threads;
+
+  // Unconstrained synthesis + gate-level check: the map and decomp stages
+  // stay out of the way, matching the historical `sitm verify`.
+  args.flow.set_skip(Stage::kDecomp);
+  args.flow.set_skip(Stage::kMap);
+  Flow flow(args.flow);
+  const FlowReport report = flow.run_file(path);
+  const FlowContext& ctx = flow.context();
+  if (!args.json_path.empty())
+    write_json_file(args.json_path, report.to_json());
+  if (report.ok && ctx.verify) {
+    std::printf("%s: speed-independent (%zu composite states)\n",
+                path.c_str(), ctx.verify->num_states);
+    return 0;
+  }
+  if (report.ok) {
+    // --stop-after / --skip cut the flow before the check could run; be
+    // explicit that nothing was verified rather than claiming success.
+    std::printf("%s: verify stage did not run (stopped or skipped)\n",
+                path.c_str());
     return 1;
   }
-  const Netlist netlist = synthesize_all(sg);
-  const SiVerifyResult verify = verify_speed_independence(netlist);
-  std::printf("%s: %s (%zu composite states)\n", path.c_str(),
-              verify.ok ? "speed-independent" : verify.why.c_str(),
-              verify.num_states);
-  return verify.ok ? 0 : 1;
+  std::printf("%s: %s\n", path.c_str(), report.failure.c_str());
+  return 1;
+}
+
+int cmd_batch(int argc, char** argv) {
+  std::string target;
+  FlowArgs args;
+  for (int i = 2; i < argc; ++i)
+    if (!args.consume(argc, argv, i, &target)) return usage();
+  if (target.empty()) return usage();
+
+  if (!args.flow.emit_sg_path.empty() ||
+      !args.flow.emit_verilog_path.empty() ||
+      !args.flow.emit_eqn_path.empty()) {
+    // Every concurrent flow would truncate the same file.
+    std::fprintf(stderr,
+                 "batch does not take -o/--verilog/--eqn (one file, many "
+                 "specs)\n");
+    return usage();
+  }
+
+  BatchOptions opts;
+  opts.flow = args.flow;
+  opts.threads = args.batch_threads;
+  opts.on_report = [](const FlowReport& r) {
+    std::printf("%-20s %s  %8.1f ms%s%s\n", r.name.c_str(),
+                r.ok ? "ok    " : "FAILED", r.total_ms,
+                r.ok ? "" : "  ", r.ok ? "" : r.failure.c_str());
+  };
+
+  const BatchResult result = target == "suite"
+                                 ? run_batch_suite({}, opts)
+                                 : run_batch_files(
+                                       collect_spec_files(target), opts);
+  std::printf("%d/%zu ok, %d failed, %.1f ms total\n", result.num_ok,
+              result.items.size(), result.num_failed, result.total_ms);
+  if (!args.json_path.empty())
+    write_json_file(args.json_path, result.to_json());
+  return result.all_ok() ? 0 : 1;
 }
 
 int cmd_bench(const std::string& which) {
   if (which == "list") {
-    for (const auto& name : bench::suite_names()) std::printf("%s\n", name.c_str());
+    for (const auto& name : bench::suite_names())
+      std::printf("%s\n", name.c_str());
     return 0;
   }
   const auto entry = bench::suite_benchmark(which);
@@ -202,7 +306,8 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "info") return cmd_info(argv[2]);
     if (cmd == "map") return cmd_map(argc, argv);
-    if (cmd == "verify") return cmd_verify(argv[2]);
+    if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "bench") return cmd_bench(argv[2]);
   } catch (const sitm::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

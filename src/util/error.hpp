@@ -17,4 +17,29 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Error from a text-format reader (.g/.sg), carrying the 1-based source
+/// location.  The location is also prefixed onto what() ("line 12, col 5:
+/// ..."), so callers that only print the message still show it.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int column = 0)
+      : Error(location_prefix(line, column) + what),
+        line_(line),
+        column_(column) {}
+
+  int line() const { return line_; }
+  /// 1-based column of the offending token; 0 when the error spans the line.
+  int column() const { return column_; }
+
+ private:
+  static std::string location_prefix(int line, int column) {
+    std::string s = "line " + std::to_string(line);
+    if (column > 0) s += ", col " + std::to_string(column);
+    return s + ": ";
+  }
+
+  int line_ = 0;
+  int column_ = 0;
+};
+
 }  // namespace sitm

@@ -1,0 +1,120 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sitm {
+
+void Json::push(Json v) {
+  kind_ = Kind::kArray;
+  arr_.push_back(std::move(v));
+}
+
+void Json::set(std::string_view key, Json v) {
+  kind_ = Kind::kObject;
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::string(key), std::move(v));
+}
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string Json::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", std::isfinite(d) ? d : 0.0);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline_pad = [&](int level) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * level, ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: append_number(out, num_); break;
+    case Kind::kString:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        newline_pad(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += indent > 0 ? "," : ", ";
+        first = false;
+        newline_pad(depth + 1);
+        out += '"';
+        out += escape(k);
+        out += "\": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace sitm

@@ -1,0 +1,65 @@
+#pragma once
+// Minimal worker-pool parallel-for shared by the parallel synthesis loop
+// (core/mc_cover) and the batch flow driver (flow/batch).
+//
+// One error-handling contract for both: the first exception thrown by the
+// body stops further index claims and is rethrown on the calling thread
+// after every worker has joined (items already claimed still finish).
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sitm {
+
+/// Resolve a user-facing thread count: 0 means one worker per hardware
+/// core, and no more workers than there are items.
+inline int resolve_worker_threads(int threads, std::size_t count) {
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  return std::min<int>(threads, static_cast<int>(count));
+}
+
+/// Run fn(i) for every i in [0, count), on the calling thread when the
+/// resolved thread count is <= 1, otherwise on a pool claiming indices
+/// through an atomic counter (no ordering guarantee across indices).
+template <typename Fn>
+void parallel_for(std::size_t count, int threads, Fn&& fn) {
+  threads = resolve_worker_threads(threads, count);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace sitm
