@@ -4,10 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "benchlib/generators.hpp"
 #include "boolf/bitslice.hpp"
+#include "boolf/minimize.hpp"
 #include "core/csc.hpp"
 #include "core/mapper.hpp"
 #include "core/mc_cover.hpp"
@@ -149,6 +151,72 @@ void BM_ExpandMinterm(benchmark::State& state) {
   state.counters["off"] = static_cast<double>(off.size());
 }
 BENCHMARK(BM_ExpandMinterm)->DenseRange(4, 8, 2);
+
+// Greedy irredundant selection in isolation, priority engine (arg 0) vs the
+// retained rescan-all reference loop (arg 1).  The candidate pool is what
+// minimize_onoff's refinement passes really produce — every on-minterm of
+// the parallelizer's done-signal function expanded under several rotated
+// variable orders — so the selection loop sees many overlapping cubes per
+// minterm, the regime where the reference loop's O(cubes) rescan per pick
+// dominates.
+void BM_Irredundant(benchmark::State& state) {
+  const StateGraph sg = bench::make_parallelizer(8).to_state_graph();
+  const int sig = sg.noninput_signals().back();
+  std::vector<std::uint64_t> on, off;
+  sg.reachable().for_each([&](std::size_t s) {
+    const auto id = static_cast<StateId>(s);
+    (next_value(sg, id, sig) ? on : off).push_back(sg.code(id));
+  });
+  const BitSlicedOffSet sliced(off, sg.num_signals());
+  std::vector<int> order(static_cast<std::size_t>(sg.num_signals()));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Cube> cubes;
+  for (int rot = 0; rot < 4; ++rot) {
+    std::rotate(order.begin(), order.begin() + 1, order.end());
+    const std::vector<int> reversed(order.rbegin(), order.rend());
+    for (const auto code : on) {
+      cubes.push_back(expand_minterm(code, sliced, order));
+      cubes.push_back(expand_minterm(code, sliced, reversed));
+    }
+  }
+  std::sort(cubes.begin(), cubes.end());
+  cubes.erase(std::unique(cubes.begin(), cubes.end()), cubes.end());
+
+  const bool reference = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(irredundant(cubes, on, reference));
+  }
+  state.counters["cubes"] = static_cast<double>(cubes.size());
+  state.counters["on"] = static_cast<double>(on.size());
+}
+BENCHMARK(BM_Irredundant)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+// The mapper's candidate resynthesis loop swept over
+// MapperOptions::threads: each candidate is an independent full
+// resynthesis over the read-only SG, evaluated on the shared pool and
+// committed in candidate order — the mapped netlist is bit-identical at
+// every thread count, so the /1 vs /4 ratio is pure parallel speedup (on a
+// single-core container the sweep degenerates to serial timings).
+void BM_MapParallelResynth(benchmark::State& state) {
+  const StateGraph sg = bench::make_parallelizer(6).to_state_graph();
+  MapperOptions opts;
+  opts.library.max_literals = 2;
+  opts.threads = static_cast<int>(state.range(0));
+  int inserted = 0;
+  for (auto _ : state) {
+    const MapResult r = technology_map(sg, opts);
+    inserted = r.signals_inserted;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["inserted"] = inserted;
+}
+BENCHMARK(BM_MapParallelResynth)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // CSC resolution on the conflicted ring family.  Default options: exhaustive
 // candidate order, bit-identical to the reference algorithm (class-local

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
 
+#include "util/bitwords.hpp"
 #include "util/error.hpp"
 #include "util/flat_map.hpp"
 
@@ -54,8 +56,20 @@ Cube expand_minterm(std::uint64_t code, const std::vector<std::uint64_t>& off,
   return cube;
 }
 
-std::vector<Cube> irredundant(const std::vector<Cube>& cubes,
-                              const std::vector<std::uint64_t>& on) {
+namespace {
+
+std::vector<Cube> selected_cubes(const std::vector<Cube>& cubes,
+                                 const std::vector<char>& selected) {
+  std::vector<Cube> out;
+  for (std::size_t i = 0; i < cubes.size(); ++i)
+    if (selected[i]) out.push_back(cubes[i]);
+  return out;
+}
+
+/// Retained rescan-all greedy loop (MinimizeOptions::reference_engine): the
+/// equivalence baseline the heap engine below is pinned against.
+std::vector<Cube> irredundant_reference(const std::vector<Cube>& cubes,
+                                        const std::vector<std::uint64_t>& on) {
   // coverage[i] = indices of on-minterms covered by cube i;
   // first_cover[m] = lowest cube index covering minterm m.
   std::vector<std::vector<int>> coverage(cubes.size());
@@ -112,10 +126,116 @@ std::vector<Cube> irredundant(const std::vector<Cube>& cubes,
     select(best);
   }
 
-  std::vector<Cube> out;
-  for (std::size_t i = 0; i < cubes.size(); ++i)
-    if (selected[i]) out.push_back(cubes[i]);
-  return out;
+  return selected_cubes(cubes, selected);
+}
+
+/// Heap entry for the lazy-revalidation engine.  `gain` is the marginal
+/// coverage at push time — an upper bound on the current value, since
+/// covering a minterm only ever lowers other cubes' gains.
+struct GainEntry {
+  int gain;
+  int lits;
+  std::uint32_t index;
+};
+
+/// priority_queue "less": lower priority = smaller gain, then more
+/// literals, then higher index — so the top is exactly the cube the
+/// reference rescan would pick (its scan keeps the first maximum, i.e. the
+/// lowest index among (max gain, min literals) ties).
+struct GainLess {
+  bool operator()(const GainEntry& a, const GainEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    if (a.lits != b.lits) return a.lits > b.lits;
+    return a.index > b.index;
+  }
+};
+
+/// Priority-driven greedy selection.  Per-cube coverage is stored as packed
+/// 64-bit rows over on-minterm indices (the bit-sliced layout of
+/// boolf/bitslice.hpp turned sideways), so re-scoring a cube is a
+/// word-parallel AND/popcount against the uncovered mask instead of a list
+/// walk, and only cubes popped with a stale key are re-scored at all — the
+/// O(cubes) rescan per pick of the reference loop never happens.
+std::vector<Cube> irredundant_priority(const std::vector<Cube>& cubes,
+                                       const std::vector<std::uint64_t>& on) {
+  const std::size_t words = bitwords::words_for(on.size());
+  std::vector<std::uint64_t> rows(cubes.size() * words, 0);
+  std::vector<int> cover_count(on.size(), 0);
+  std::vector<int> first_cover(on.size(), -1);
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    std::uint64_t* row = rows.data() + i * words;
+    for (std::size_t m = 0; m < on.size(); ++m) {
+      if (cubes[i].contains_code(on[m])) {
+        row[m >> 6] |= std::uint64_t{1} << (m & 63);
+        if (cover_count[m]++ == 0) first_cover[m] = static_cast<int>(i);
+      }
+    }
+  }
+
+  std::vector<char> selected(cubes.size(), 0);
+  std::vector<std::uint64_t> uncovered(words, ~std::uint64_t{0});
+  if (words > 0) uncovered[words - 1] = bitwords::tail_mask(on.size());
+  std::size_t num_uncovered = on.size();
+
+  auto gain_of = [&](std::size_t i) {
+    const std::uint64_t* row = rows.data() + i * words;
+    int gain = 0;
+    for (std::size_t w = 0; w < words; ++w)
+      gain += __builtin_popcountll(row[w] & uncovered[w]);
+    return gain;
+  };
+  auto select = [&](std::size_t i) {
+    if (selected[i]) return;
+    selected[i] = 1;
+    const std::uint64_t* row = rows.data() + i * words;
+    for (std::size_t w = 0; w < words; ++w) {
+      num_uncovered -= static_cast<std::size_t>(
+          __builtin_popcountll(row[w] & uncovered[w]));
+      uncovered[w] &= ~row[w];
+    }
+  };
+
+  // Essential cubes first, exactly as in the reference engine.
+  for (std::size_t m = 0; m < on.size(); ++m) {
+    if (cover_count[m] == 1) select(static_cast<std::size_t>(first_cover[m]));
+  }
+
+  std::priority_queue<GainEntry, std::vector<GainEntry>, GainLess> heap;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    if (selected[i]) continue;
+    const int gain = gain_of(i);
+    // Zero gain can never recover (gains only fall), so never enqueue it.
+    if (gain > 0)
+      heap.push(GainEntry{gain, cubes[i].num_literals(),
+                          static_cast<std::uint32_t>(i)});
+  }
+
+  while (num_uncovered > 0) {
+    if (heap.empty())
+      throw Error("irredundant: on-set not coverable by candidate cubes");
+    const GainEntry top = heap.top();
+    heap.pop();
+    if (selected[top.index]) continue;  // re-pushed before an earlier select
+    const int gain = gain_of(top.index);
+    if (gain != top.gain) {
+      // Stale: stored keys are upper bounds, so re-keying and retrying
+      // still surfaces the true maximum before anything is selected.
+      if (gain > 0) heap.push(GainEntry{gain, top.lits, top.index});
+      continue;
+    }
+    select(top.index);
+  }
+
+  return selected_cubes(cubes, selected);
+}
+
+}  // namespace
+
+std::vector<Cube> irredundant(const std::vector<Cube>& cubes,
+                              const std::vector<std::uint64_t>& on,
+                              bool reference_engine) {
+  return reference_engine ? irredundant_reference(cubes, on)
+                          : irredundant_priority(cubes, on);
 }
 
 Cover minimize_onoff(const std::vector<std::uint64_t>& on_in,
@@ -181,7 +301,7 @@ Cover minimize_onoff(const std::vector<std::uint64_t>& on_in,
     const Cube c = expand(code, var_order);
     if (seen.emplace(c, 1).second) primes.push_back(c);
   }
-  std::vector<Cube> chosen = irredundant(primes, on);
+  std::vector<Cube> chosen = irredundant(primes, on, opts.reference_engine);
 
   // Refinement: re-expand each chosen cube with a reversed order and keep
   // the variant set if it lowers the literal count.
@@ -193,7 +313,7 @@ Cover minimize_onoff(const std::vector<std::uint64_t>& on_in,
       const Cube c = expand(code, reversed);
       if (alt_seen.emplace(c, 1).second) alt.push_back(c);
     }
-    std::vector<Cube> alt_chosen = irredundant(alt, on);
+    std::vector<Cube> alt_chosen = irredundant(alt, on, opts.reference_engine);
     auto lits = [](const std::vector<Cube>& v) {
       int n = 0;
       for (const auto& c : v) n += c.num_literals();

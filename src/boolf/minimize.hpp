@@ -15,9 +15,11 @@ namespace sitm {
 struct MinimizeOptions {
   /// Extra reduce/re-expand refinement passes.
   int passes = 1;
-  /// Expand with the retained row-major off-set scan instead of the
-  /// bit-sliced engine.  Slower; kept as the equivalence-test reference —
-  /// both engines return literal-for-literal identical covers.
+  /// Use the retained row-major reference paths instead of the fast
+  /// engines: the full off-set scan in expand_minterm (vs the bit-sliced
+  /// reduction) and the rescan-all greedy loop in irredundant (vs the
+  /// lazy-revalidation max-heap).  Slower; kept as the equivalence-test
+  /// reference — both engines return literal-for-literal identical covers.
   bool reference_engine = false;
 };
 
@@ -35,8 +37,13 @@ Cube expand_minterm(std::uint64_t code, const std::vector<std::uint64_t>& off,
                     int num_vars, const std::vector<int>& var_order);
 
 /// Greedy irredundant: select a subset of `cubes` covering all `on`
-/// minterms, essential cubes first, then by descending coverage.
+/// minterms, essential cubes first, then by descending marginal coverage
+/// (ties: fewer literals, then lower cube index).  The default engine keys
+/// candidates in a max-heap over packed uncovered-minterm words and
+/// re-scores a cube only when it is popped stale; `reference_engine`
+/// selects the retained rescan-all loop.  Both return the same cubes.
 std::vector<Cube> irredundant(const std::vector<Cube>& cubes,
-                              const std::vector<std::uint64_t>& on);
+                              const std::vector<std::uint64_t>& on,
+                              bool reference_engine = false);
 
 }  // namespace sitm

@@ -6,6 +6,7 @@
 #include "mlogic/division.hpp"
 #include "sg/properties.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/text.hpp"
 
 namespace sitm {
@@ -181,40 +182,76 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
       }
 
       // ---- full evaluation (resynthesis from scratch) ------------------
+      // Every candidate evaluation reads only the shared (const) SG and its
+      // own plan, so both steps fan out to a worker pool
+      // (MapperOptions::threads): the insert/verify pre-check in rank-order
+      // chunks, then the full resyntheses of the accepted set.  The
+      // evaluated set — the first max_full_evals candidates whose insertion
+      // verifies — and the winner — the best (metrics, states) key,
+      // earliest candidate on ties — are both determined in candidate
+      // order, so the mapped result and the search counters are
+      // bit-identical to the serial loop at every thread count.
       struct Evaluated {
         StateGraph sg;
         std::vector<SignalSynthesis> syntheses;
-        const Candidate* candidate;
+        const Candidate* candidate = nullptr;
         MapMetrics metrics;
-        std::size_t states;
+        std::size_t states = 0;
       };
-      std::optional<Evaluated> best;
       const std::string name = fresh_name(sg, name_counter);
+      const int eval_threads =
+          resolve_worker_threads(opts.threads, candidates.size());
 
-      int evals = 0;
-      for (const auto& cand : candidates) {
-        if (evals >= opts.max_full_evals) break;
-        StateGraph next = insert_signal(sg, cand.plan, name);
-        if (!verify_insertion(sg, next)) continue;
-        ++evals;
-        ++result.resyntheses;
+      std::vector<Evaluated> evaluated;
+      {
+        const std::size_t cap =
+            opts.max_full_evals > 0
+                ? static_cast<std::size_t>(opts.max_full_evals)
+                : 0;
+        std::vector<std::optional<StateGraph>> verified;
+        std::size_t pos = 0;
+        while (pos < candidates.size() && evaluated.size() < cap) {
+          // Chunked so a parallel run over-checks at most one chunk beyond
+          // where the serial scan would have stopped.
+          const std::size_t chunk =
+              std::min(candidates.size() - pos,
+                       static_cast<std::size_t>(std::max(eval_threads, 1)));
+          verified.assign(chunk, std::nullopt);
+          parallel_for(chunk, eval_threads, [&](std::size_t k) {
+            StateGraph next =
+                insert_signal(sg, candidates[pos + k].plan, name);
+            if (verify_insertion(sg, next)) verified[k] = std::move(next);
+          });
+          for (std::size_t k = 0; k < chunk && evaluated.size() < cap; ++k) {
+            if (!verified[k]) continue;
+            Evaluated ev;
+            ev.sg = std::move(*verified[k]);
+            ev.candidate = &candidates[pos + k];
+            evaluated.push_back(std::move(ev));
+          }
+          pos += chunk;
+        }
+      }
+      result.resyntheses += static_cast<long>(evaluated.size());
 
-        std::vector<SignalSynthesis> next_syntheses;
-        synthesize_all(next, opts.mc, &next_syntheses);
+      parallel_for(evaluated.size(), eval_threads, [&](std::size_t k) {
+        Evaluated& ev = evaluated[k];
+        synthesize_all(ev.sg, opts.mc, &ev.syntheses);
+        ev.metrics = metrics_of(ev.syntheses, opts.library);
+        ev.states = ev.sg.num_states();
+      });
 
+      Evaluated* best = nullptr;
+      auto key = [](const Evaluated& e) {
+        return std::make_tuple(e.metrics.tuple(), e.states);
+      };
+      for (Evaluated& ev : evaluated) {
         // Progress requirement: the global cost tuple strictly decreases.
         // This is the termination measure of the whole loop — temporary
         // growth of one cover (the acknowledgement literal of Property 3.2)
         // is fine as long as fewer gates exceed the library.
-        const MapMetrics m = metrics_of(next_syntheses, opts.library);
-        if (!(m < current_metrics)) continue;
-
-        Evaluated ev{std::move(next), std::move(next_syntheses), &cand, m, 0};
-        ev.states = ev.sg.num_states();
-        auto key = [](const Evaluated& e) {
-          return std::make_tuple(e.metrics.tuple(), e.states);
-        };
-        if (!best || key(ev) < key(*best)) best = std::move(ev);
+        if (!(ev.metrics < current_metrics)) continue;
+        if (!best || key(ev) < key(*best)) best = &ev;
       }
 
       if (best) {

@@ -47,6 +47,13 @@ struct MapperOptions {
   int max_target_events = 4;
   /// How many filtered candidates are fully resynthesized per target.
   int max_full_evals = 12;
+  /// Worker threads for the candidate resynthesis loop.  Each candidate is
+  /// an independent insert/verify/resynthesize over the read-only current
+  /// SG, so candidates are evaluated in parallel and the winner is chosen
+  /// in candidate order — the mapped SG, netlist, steps and search counters
+  /// are bit-identical at every thread count.  1 = serial, 0 = one thread
+  /// per hardware core.
+  int threads = 1;
 };
 
 /// Global cost of a synthesis state: number of gates exceeding the library,

@@ -2,11 +2,13 @@
 
 #include <chrono>
 #include <fstream>
+#include <limits>
 
 #include "netlist/writers.hpp"
 #include "sg/properties.hpp"
 #include "sg/sg_io.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace sitm {
 
@@ -318,6 +320,11 @@ void Flow::stage_decomp(StageReport& sr) {
 
 void Flow::stage_map(StageReport& sr) {
   sr.metric("max_literals", opts_.mapper.library.max_literals);
+  // Candidate counts vary per iteration, so record the pool width the
+  // resynthesis loop can use at most (0 resolved to the hardware count).
+  sr.metric("threads",
+            resolve_worker_threads(opts_.mapper.threads,
+                                   std::numeric_limits<std::size_t>::max()));
   MapResult result = technology_map(*ctx_.sg, opts_.mapper);
   sr.metric("candidates_planned",
             static_cast<double>(result.candidates_planned));

@@ -27,11 +27,13 @@ StateGraph read_sg(std::istream& in, std::string* name) {
   struct RawArc {
     std::string from, event, to;
     int line = 0;
+    int event_col = 0;  ///< 1-based column of the event token
   };
   std::vector<RawArc> arcs;
   std::string initial_name, initial_code;
   bool in_graph = false;
   int line_no = 0, initial_line = 0;
+  int initial_state_col = 0, initial_code_col = 0;
 
   auto state_id = [&](std::string_view token) -> StateId {
     auto it = ids.find(token);
@@ -42,6 +44,11 @@ StateGraph read_sg(std::istream& in, std::string* name) {
   };
 
   std::string line;
+  // 1-based column of a token that is a view into `line` — the same
+  // location context the .g reader attaches to its errors.
+  auto col_of = [&](std::string_view token) {
+    return static_cast<int>(token.data() - line.data()) + 1;
+  };
   while (std::getline(in, line)) {
     ++line_no;
     const auto text = trim(line);
@@ -60,28 +67,33 @@ StateGraph read_sg(std::istream& in, std::string* name) {
       in_graph = true;
     } else if (head == ".initial") {
       if (tokens.size() != 3)
-        throw ParseError(".initial needs <state> <code>", line_no);
+        throw ParseError(".initial needs <state> <code>", line_no,
+                         col_of(head));
       initial_name = std::string(tokens[1]);
       initial_code = std::string(tokens[2]);
       initial_line = line_no;
+      initial_state_col = col_of(tokens[1]);
+      initial_code_col = col_of(tokens[2]);
     } else if (head == ".end") {
       break;
     } else if (in_graph) {
       if (tokens.size() != 3)
-        throw ParseError("graph line needs 3 tokens: " + line, line_no);
+        throw ParseError("graph line needs 3 tokens: " + line, line_no,
+                         col_of(head));
       arcs.push_back(RawArc{std::string(tokens[0]), std::string(tokens[1]),
-                            std::string(tokens[2]), line_no});
+                            std::string(tokens[2]), line_no,
+                            col_of(tokens[1])});
       state_id(tokens[0]);
       state_id(tokens[2]);
     } else {
-      throw ParseError("unexpected line: " + line, line_no);
+      throw ParseError("unexpected line: " + line, line_no, col_of(head));
     }
   }
 
   if (initial_name.empty()) throw Error(".initial missing");
   if (static_cast<int>(initial_code.size()) != sg.num_signals())
     throw ParseError(".initial code length != number of signals",
-                     initial_line);
+                     initial_line, initial_code_col);
 
   for (const auto& arc : arcs) {
     try {
@@ -89,13 +101,14 @@ StateGraph read_sg(std::istream& in, std::string* name) {
     } catch (const ParseError&) {
       throw;
     } catch (const Error& e) {
-      throw ParseError(e.what(), arc.line);
+      throw ParseError(e.what(), arc.line, arc.event_col);
     }
   }
 
   const auto init_it = ids.find(initial_name);
   if (init_it == ids.end())
-    throw ParseError("unknown initial state " + initial_name, initial_line);
+    throw ParseError("unknown initial state " + initial_name, initial_line,
+                     initial_state_col);
   sg.set_initial(init_it->second);
 
   // Propagate codes from the initial state; verify agreement on re-visit.
@@ -104,7 +117,8 @@ StateGraph read_sg(std::istream& in, std::string* name) {
     if (initial_code[i] == '1')
       init |= StateCode{1} << i;
     else if (initial_code[i] != '0')
-      throw ParseError("initial code must be 0/1 string", initial_line);
+      throw ParseError("initial code must be 0/1 string", initial_line,
+                       initial_code_col);
   }
   std::vector<int> known(sg.num_states(), 0);
   std::vector<StateCode> code(sg.num_states(), 0);

@@ -2,13 +2,14 @@
 //
 //   sitm info   <file.g|file.sg>           specification statistics & checks
 //   sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] [--eqn out.eqn]
-//               [--threads N] [--stop-after STAGE] [--skip STAGE]
-//               [--json report.json]       staged flow: CSC-resolve + map
+//               [--threads N] [--map-threads N] [--stop-after STAGE]
+//               [--skip STAGE] [--json report.json]
+//                                          staged flow: CSC-resolve + map
 //   sitm verify <file> [--threads N] [--json report.json]
 //                                          synthesize + gate-level SI check
 //   sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]
-//               [--stop-after STAGE] [--skip STAGE] [--json report.json]
-//                                          full flow over a spec corpus
+//               [--map-threads N] [--stop-after STAGE] [--skip STAGE]
+//               [--json report.json]       full flow over a spec corpus
 //   sitm bench  <name|list>                dump a suite benchmark as .g
 //
 // map/verify/batch are thin shells over the staged Flow engine
@@ -44,11 +45,13 @@ int usage() {
       "  sitm info   <file.g|file.sg>\n"
       "  sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] "
       "[--eqn out.eqn]\n"
-      "              [--threads N] [--stop-after STAGE] [--skip STAGE] "
-      "[--json out.json]\n"
+      "              [--threads N] [--map-threads N] [--stop-after STAGE] "
+      "[--skip STAGE]\n"
+      "              [--json out.json]\n"
       "  sitm verify <file> [--threads N] [--json out.json]\n"
       "  sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]\n"
-      "              [--stop-after STAGE] [--skip STAGE] [--json out.json]\n"
+      "              [--map-threads N] [--stop-after STAGE] [--skip STAGE] "
+      "[--json out.json]\n"
       "  sitm bench  <name|list>\n"
       "stages: load reachability properties csc synth decomp map verify "
       "emit\n");
@@ -88,6 +91,10 @@ struct FlowArgs {
     } else if (arg == "--synth-threads") {
       if (!parse_int_arg(next(), 0, &flow.mc.threads)) return false;
       synth_threads_set = true;
+    } else if (arg == "--map-threads") {
+      // Candidate-resynthesis workers inside the map stage (bit-identical
+      // netlist at any count; 0 = one per hardware core).
+      if (!parse_int_arg(next(), 0, &flow.mapper.threads)) return false;
     } else if (arg == "--stop-after") {
       const char* v = next();
       if (!v) return false;

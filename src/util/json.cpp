@@ -30,7 +30,11 @@ const Json* Json::find(std::string_view key) const {
 std::string Json::escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
+  // Work on unsigned bytes throughout: with a signed `char`, bytes >= 0x80
+  // sign-extend on promotion, and a `\u%04x` of e.g. 0xe9 prints the
+  // garbage "￿ffe9".  Bytes >= 0x80 (UTF-8 continuation/lead bytes in
+  // warning text, signal names, file paths) pass through verbatim.
+  for (const unsigned char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -38,12 +42,12 @@ std::string Json::escape(std::string_view s) {
       case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+        if (c < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
           out += buf;
         } else {
-          out += c;
+          out += static_cast<char>(c);
         }
     }
   }

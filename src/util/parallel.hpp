@@ -16,14 +16,18 @@
 
 namespace sitm {
 
-/// Resolve a user-facing thread count: 0 means one worker per hardware
-/// core, and no more workers than there are items.
+/// Resolve a user-facing thread count: 0 (or any non-positive value) means
+/// one worker per hardware core, and no more workers than there are items.
+/// Always resolves to >= 1 worker when there is work —
+/// `hardware_concurrency()` is allowed to return 0 ("unknown"), which must
+/// clamp to one worker, not a zero-width pool.
 inline int resolve_worker_threads(int threads, std::size_t count) {
-  if (threads == 0) {
+  if (threads <= 0)
     threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads < 1) threads = 1;
-  }
-  return std::min<int>(threads, static_cast<int>(count));
+  if (threads < 1) threads = 1;
+  if (count < static_cast<std::size_t>(threads))
+    threads = static_cast<int>(count);
+  return threads;
 }
 
 /// Run fn(i) for every i in [0, count), on the calling thread when the

@@ -12,6 +12,7 @@
 #include "sg/sg_io.hpp"
 #include "stg/g_io.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 #ifndef SITM_SOURCE_DIR
 #define SITM_SOURCE_DIR "."
@@ -229,6 +230,29 @@ TEST(Flow, ReportSerializesToJson) {
       << bad_json;
 }
 
+TEST(Flow, JsonEscapePreservesNonAsciiBytes) {
+  // Bytes >= 0x80 (UTF-8 warning text, signal names, file paths) must pass
+  // through verbatim: with a signed char they used to sign-extend through
+  // \u%04x into garbage like "￿ffe9".
+  EXPECT_EQ(Json::escape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(Json::escape("\xe9"), "\xe9");  // lone high byte, still verbatim
+  EXPECT_EQ(Json::escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(Json::escape("\x80").find("ffff"), std::string::npos);
+
+  // Round trip through a report: non-ASCII warning text survives into the
+  // dumped JSON byte for byte, control bytes as 4-digit escapes.
+  FlowReport report;
+  report.name = "sp\xc3\xa9" "c";
+  report.stage(Stage::kSynth).warnings.push_back(
+      "temp\xc3\xa9rature \xe2\x89\xa4 0\x01");
+  const std::string json = report.to_json_string();
+  EXPECT_NE(json.find("\"sp\xc3\xa9" "c\""), std::string::npos) << json;
+  EXPECT_NE(json.find("temp\xc3\xa9rature \xe2\x89\xa4 0\\u0001"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find("ffff"), std::string::npos) << json;
+}
+
 TEST(Flow, RunSpecAndRunStateGraphRecordTheInputSpine) {
   // Pre-parsed suite entry.
   Spec spec;
@@ -309,15 +333,16 @@ TEST(ParseErrors, GReaderReportsLineAndColumn) {
   }
 }
 
-TEST(ParseErrors, SgReaderReportsLine) {
+TEST(ParseErrors, SgReaderReportsLineAndColumn) {
   const char* bad =
       ".model m\n.outputs a\n.graph\ns0 a+ s1\ns1 b- s0\n.initial s0 0\n.end\n";
   try {
     read_sg_string(bad);
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
-    EXPECT_EQ(e.line(), 5);  // the arc with the unknown signal b
-    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos)
+    EXPECT_EQ(e.line(), 5);    // the arc with the unknown signal b
+    EXPECT_EQ(e.column(), 4);  // ...and its event token "b-"
+    EXPECT_NE(std::string(e.what()).find("line 5, col 4"), std::string::npos)
         << e.what();
   }
   try {
@@ -325,6 +350,17 @@ TEST(ParseErrors, SgReaderReportsLine) {
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_EQ(e.line(), 4);  // graph line with the wrong arity
+    EXPECT_EQ(e.column(), 1);
+  }
+  // The .initial code is pinpointed too (here: length != signal count).
+  try {
+    read_sg_string(
+        ".model m\n.outputs a b\n.graph\ns0 a+ s1\ns1 a- s0\n"
+        ".initial s0 011\n.end\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 6);
+    EXPECT_EQ(e.column(), 13);  // the "011" token
   }
 }
 
@@ -370,6 +406,26 @@ TEST(Batch, RunsSpecFilesFromDirectory) {
   EXPECT_EQ(result.num_ok, 4);
   for (const auto& item : result.items)
     EXPECT_FALSE(item.report.stage(Stage::kMap).ran) << item.label;
+}
+
+TEST(Batch, ZeroThreadsClampsToAtLeastOneWorker) {
+  // 0 means "one per hardware core", and hardware_concurrency() may itself
+  // report 0 ("unknown"): both must resolve to >= 1 worker, never to a
+  // zero-width pool that would hang or skip the work.
+  EXPECT_GE(resolve_worker_threads(0, 5), 1);
+  EXPECT_LE(resolve_worker_threads(0, 5), 5);
+  EXPECT_GE(resolve_worker_threads(-7, 5), 1);  // defensive, same clamp
+  EXPECT_EQ(resolve_worker_threads(3, 0), 0);   // no work, no workers
+  EXPECT_EQ(resolve_worker_threads(8, 3), 3);
+
+  // End to end: --threads 0 at both pool levels still runs every item.
+  BatchOptions opts;
+  opts.threads = 0;
+  opts.flow.mc.threads = 0;
+  opts.flow.stop_after = Stage::kSynth;
+  const BatchResult result = run_batch_suite({"half", "hazard"}, opts);
+  EXPECT_EQ(result.num_ok, 2);
+  EXPECT_TRUE(result.all_ok());
 }
 
 TEST(Batch, AggregateJsonAndFailureAccounting) {

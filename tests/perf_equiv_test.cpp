@@ -20,6 +20,7 @@
 #include "sg/properties.hpp"
 #include "sg/state_graph.hpp"
 #include "stg/stg.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace sitm {
@@ -541,6 +542,71 @@ TEST(PerfEquiv, BitSlicedExpandMatchesReferenceRandomized) {
       }
     }
   }
+}
+
+// ----- priority-heap irredundant vs retained rescan-all reference ----------
+
+TEST(PerfEquiv, IrredundantHeapMatchesReferenceRandomized) {
+  Rng rng(20260729);
+  for (const int num_vars : {1, 3, 5, 8, 13, 63, 64}) {
+    const std::uint64_t mask =
+        num_vars >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << num_vars) - 1);
+    for (int round = 0; round < 8; ++round) {
+      // Random candidate cubes, then on-minterms sampled from inside them
+      // so every minterm is coverable by construction.  Duplicate cubes
+      // stay in the pool on purpose: the tie-break (gain, literals, lowest
+      // index) must agree even between identical candidates.
+      const std::size_t n_cubes = 2 + rng.below(24);
+      std::vector<Cube> cubes;
+      for (std::size_t i = 0; i < n_cubes; ++i) {
+        Cube c = Cube::one();
+        const int lits =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                std::min(num_vars, 8) + 1)));
+        for (int l = 0; l < lits; ++l)
+          c = c.with_literal(
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(num_vars))),
+              rng.below(2) == 0);
+        cubes.push_back(c);
+      }
+      std::set<std::uint64_t> on_set;
+      // Past 64 minterms the packed coverage rows span multiple words, so
+      // large draws also exercise the tail-mask and per-word popcount
+      // paths (small num_vars caps out at its 2^n code space).
+      const std::size_t n_on = 1 + rng.below(round % 2 ? 200 : 40);
+      for (std::size_t m = 0; m < n_on; ++m) {
+        const Cube& c = cubes[rng.below(cubes.size())];
+        // A random code inside c: free bits random, cared bits from val.
+        on_set.insert(((rng.next() & ~c.care) | c.val) & mask);
+      }
+      const std::vector<std::uint64_t> on(on_set.begin(), on_set.end());
+
+      const std::vector<Cube> heap_sel = irredundant(cubes, on, false);
+      const std::vector<Cube> ref_sel = irredundant(cubes, on, true);
+      // Identical selection implies identical cover cost; check both
+      // anyway so a future tie-break change fails with a useful message.
+      EXPECT_EQ(heap_sel, ref_sel) << "vars=" << num_vars;
+      auto lits = [](const std::vector<Cube>& v) {
+        int n = 0;
+        for (const auto& c : v) n += c.num_literals();
+        return n;
+      };
+      EXPECT_EQ(lits(heap_sel), lits(ref_sel));
+      const Cover cover(num_vars, heap_sel);
+      for (const auto code : on) EXPECT_TRUE(cover.eval(code));
+    }
+  }
+}
+
+TEST(PerfEquiv, IrredundantBothEnginesRejectUncoverableOnSet) {
+  // Minterm 0b11 is covered by no candidate: both engines must throw the
+  // same way instead of looping or under-covering.
+  const std::vector<Cube> cubes{Cube::literal(0, false),
+                                Cube::literal(1, false)};
+  const std::vector<std::uint64_t> on{0b00, 0b11};
+  EXPECT_THROW(irredundant(cubes, on, false), Error);
+  EXPECT_THROW(irredundant(cubes, on, true), Error);
 }
 
 TEST(PerfEquiv, InferInitialCodeMatchesFullTokenGame) {
