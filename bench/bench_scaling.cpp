@@ -11,6 +11,7 @@
 #include "boolf/bitslice.hpp"
 #include "boolf/minimize.hpp"
 #include "core/csc.hpp"
+#include "core/insertion.hpp"
 #include "core/mapper.hpp"
 #include "core/mc_cover.hpp"
 #include "flow/flow.hpp"
@@ -217,6 +218,102 @@ BENCHMARK(BM_MapParallelResynth)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// Insertion planning in isolation: every ordered (e1, e2) switching-region
+// pair of a conflicted diamond ring — exactly resolve_csc's per-iteration
+// candidate planning, on the concurrency-rich workload where planning is
+// diamond-bound (the plain csc_ring is diamond-free, so there is nothing to
+// amortize there).  Arg 0 is the fork width, arg 1 the engine: 0 = one
+// shared InsertionPlanner (diamond enumeration and region memos reused
+// across pairs), 1 = a fresh one-shot plan per pair (the retained reference
+// cost model).  Both produce identical plans (pinned by
+// tests/perf_equiv_test.cpp); the /0 vs /1 ratio is the planner's win.
+void BM_PlanInsertion(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_csc_diamond_ring(3, static_cast<int>(state.range(0)))
+          .to_state_graph();
+  const std::vector<DynBitset> region = all_switching_regions(sg);
+  std::vector<const DynBitset*> occupied;
+  for (const auto& r : region)
+    if (r.any()) occupied.push_back(&r);
+
+  const bool one_shot = state.range(1) != 0;
+  long planned = 0;
+  for (auto _ : state) {
+    planned = 0;
+    InsertionPlanner planner(sg);
+    for (const DynBitset* r1 : occupied) {
+      for (const DynBitset* r2 : occupied) {
+        if (r1 == r2) continue;
+        auto plan = one_shot ? plan_state_latch_insertion(sg, *r1, *r2)
+                             : planner.plan_state_latch(*r1, *r2);
+        planned += plan.has_value();
+        benchmark::DoNotOptimize(plan);
+      }
+    }
+  }
+  state.counters["pairs"] =
+      static_cast<double>(occupied.size() * (occupied.size() - 1));
+  state.counters["planned"] = static_cast<double>(planned);
+}
+BENCHMARK(BM_PlanInsertion)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// resolve_csc end to end on the diamond ring (args: segments, width,
+// engine), shared incremental planner (engine 0) vs the retained one-shot
+// planning path (engine 1, CscOptions::reference_planner).  Bit-identical
+// CscResults by construction.  The end-to-end ratio understates the
+// planner (planning itself runs ~2.6x faster — see BM_PlanInsertion)
+// because insert_signal for the surviving candidates now dominates the
+// search; that is the next named target.
+void BM_ResolveCscIncremental(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_csc_diamond_ring(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)))
+          .to_state_graph();
+  CscOptions opts;
+  opts.reference_planner = state.range(2) != 0;
+  int inserted = 0;
+  for (auto _ : state) {
+    const CscResult r = resolve_csc(sg, opts);
+    inserted = r.signals_inserted;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(sg.num_states());
+  state.counters["inserted"] = inserted;
+}
+BENCHMARK(BM_ResolveCscIncremental)
+    ->Args({5, 4, 0})
+    ->Args({5, 4, 1})
+    ->Args({4, 5, 0})
+    ->Args({4, 5, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The mapper with the pre-check prune (arg 0 = pruned, 1 = exhaustive):
+// once a committable winner exists, later-ranked candidates skip the
+// insert/verify/resynthesize round trip entirely.  Compare the `resyn`
+// counters for the work saved and /0 vs /1 real_time for the payoff.
+void BM_MapPruned(benchmark::State& state) {
+  const StateGraph sg = bench::make_parallelizer(6).to_state_graph();
+  MapperOptions opts;
+  opts.library.max_literals = 2;
+  opts.prune_pre_checks = state.range(0) == 0;
+  int inserted = 0;
+  long resyn = 0;
+  for (auto _ : state) {
+    const MapResult r = technology_map(sg, opts);
+    inserted = r.signals_inserted;
+    resyn = r.resyntheses;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["inserted"] = inserted;
+  state.counters["resyn"] = static_cast<double>(resyn);
+}
+BENCHMARK(BM_MapPruned)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // CSC resolution on the conflicted ring family.  Default options: exhaustive
 // candidate order, bit-identical to the reference algorithm (class-local

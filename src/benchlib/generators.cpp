@@ -326,5 +326,36 @@ Stg make_csc_ring(int segments) {
   return std::move(b.stg);
 }
 
+Stg make_csc_diamond_ring(int segments, int width) {
+  if (segments < 2) throw Error("make_csc_diamond_ring: segments >= 2");
+  if (width < 1) throw Error("make_csc_diamond_ring: width >= 1");
+  Builder b;
+  TransId first = 0, prev = 0;
+  for (int h = 0; h < segments; ++h) {
+    const std::string seg = std::to_string(h);
+    const int a = b.out("s" + std::to_string(2 * h));
+    const int c = b.out("s" + std::to_string(2 * h + 1));
+    const TransId ap = b.plus(a), cp = b.plus(c);
+    const TransId am = b.minus(a), cm = b.minus(c);
+    // a+ -> fork {p_j+} -> join c+ -> a- -> fork {p_j-} -> join c-
+    for (int j = 0; j < width; ++j) {
+      const int p = b.out("p" + seg + "_" + std::to_string(j));
+      const TransId pp = b.plus(p), pm = b.minus(p);
+      b.arc(ap, pp);
+      b.arc(pp, cp);
+      b.arc(am, pm);
+      b.arc(pm, cm);
+    }
+    b.arc(cp, am);
+    if (h == 0)
+      first = ap;
+    else
+      b.arc(prev, ap);
+    prev = cm;
+  }
+  b.marked_arc(prev, first);
+  return std::move(b.stg);
+}
+
 }  // namespace bench
 }  // namespace sitm

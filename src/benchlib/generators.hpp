@@ -59,5 +59,15 @@ Stg make_tree(int depth);
 /// CSC.
 Stg make_csc_ring(int segments);
 
+/// make_csc_ring with concurrency: between each segment's bounding pair
+/// (s2h+ ... s2h- ...) the segment forks `width` parallel outputs
+/// (p{h}_{j}+ joined before s2h+1+, p{h}_{j}- joined before s2h+1-), so the
+/// reachability graph carries both the ring's CSC conflicts (the all-zero
+/// code still recurs at every segment boundary) and Theta(width^2 * 2^width)
+/// state diamonds per segment.  This is the workload where insertion
+/// planning is diamond-bound — the regime the shared InsertionPlanner
+/// amortizes — whereas the plain ring is diamond-free.
+Stg make_csc_diamond_ring(int segments, int width);
+
 }  // namespace bench
 }  // namespace sitm

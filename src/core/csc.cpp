@@ -177,23 +177,17 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
       return result;
     }
 
-    // Candidate latches bounded by event pairs.  One pass over the arcs
-    // collects both which events occur and each event's switching region
-    // SR(e) (the states entered by e), so the candidate loop below never
-    // rescans the graph.
+    // Candidate latches bounded by event pairs: one arc pass collects each
+    // event's switching region SR(e) (the states entered by e; empty = the
+    // event never occurs), so the candidate loop below never rescans the
+    // graph.  The same helper seeds the planner benchmarks and equivalence
+    // tests.
     const auto event_id = [](Event e) { return 2 * e.signal + (e.rising ? 1 : 0); };
-    std::vector<char> occurs(2 * sg.num_signals(), 0);
-    std::vector<DynBitset> region(2 * sg.num_signals(), sg.empty_set());
-    for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
-      for (const auto& edge : sg.succs(s)) {
-        occurs[event_id(edge.event)] = 1;
-        region[event_id(edge.event)].set(edge.target);
-      }
-    }
+    const std::vector<DynBitset> region = all_switching_regions(sg);
     std::vector<Event> events;
     for (int sig = 0; sig < sg.num_signals(); ++sig)
       for (bool rising : {true, false})
-        if (occurs[event_id(Event{sig, rising})])
+        if (region[event_id(Event{sig, rising})].any())
           events.push_back(Event{sig, rising});
 
     // The first max_candidates ordered pairs (e1 != e2), in enumeration
@@ -267,6 +261,11 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
     std::vector<char> noninput_next = noninput_flags(sg);
     noninput_next.push_back(1);
 
+    // One planner per iteration: every candidate below shares the diamond
+    // enumeration, and candidates whose seed regions or propagated latch
+    // blocks coincide reuse the grown excitation regions from the memo.
+    InsertionPlanner planner(sg);
+
     for (std::size_t ci = 0; ci < cands.size(); ++ci) {
       if (ci == stop_if_best_at && best) break;
       const Candidate& cand = cands[ci];
@@ -274,7 +273,10 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
       const DynBitset& set_states = region[event_id(cand.e1)];
       const DynBitset& reset_states = region[event_id(cand.e2)];
 
-      auto plan = plan_state_latch_insertion(sg, set_states, reset_states);
+      auto plan =
+          opts.reference_planner
+              ? plan_state_latch_insertion(sg, set_states, reset_states)
+              : planner.plan_state_latch(set_states, reset_states);
       if (!plan) continue;
       // Useless if it does not split any conflicting code class: some
       // involved state must differ in the latch value from a conflicting

@@ -35,6 +35,13 @@ struct CscOptions {
   /// reference implementation; the ranked mode may commit a different —
   /// equally valid — latch.
   std::size_t rank_top_k = 0;
+  /// Plan every candidate with a fresh one-shot planner (per-candidate
+  /// diamond enumeration, no cross-candidate memo) instead of the shared
+  /// per-iteration InsertionPlanner.  The results are bit-identical either
+  /// way — the shared planner only caches, it never reorders — so this
+  /// exists purely as the retained reference cost model for the equivalence
+  /// tests and the BM_ResolveCscIncremental benchmark.
+  bool reference_planner = false;
 };
 
 struct CscStep {

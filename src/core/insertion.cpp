@@ -1,6 +1,7 @@
 #include "core/insertion.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/error.hpp"
 #include "util/text.hpp"
@@ -82,104 +83,128 @@ bool grow_region(const StateGraph& sg, const DynBitset& block,
   return true;
 }
 
+std::optional<InsertionPlan> plan_fail(InsertionFailure* failure,
+                                       std::string why) {
+  if (failure) failure->why = std::move(why);
+  return std::nullopt;
+}
+
 }  // namespace
 
-namespace {
+InsertionPlanner::InsertionPlanner(const StateGraph& sg) : sg_(sg) {}
+
+const std::vector<Diamond>& InsertionPlanner::diamonds() {
+  if (!diamonds_) diamonds_ = enumerate_diamonds(sg_);
+  return *diamonds_;
+}
 
 /// Finish a plan given its S1 block: compute input borders, grow the
-/// excitation regions, and validate the partition.
-std::optional<InsertionPlan> finish_plan(const StateGraph& sg,
-                                         InsertionPlan plan,
-                                         InsertionFailure* failure) {
-  auto fail = [&](std::string why) -> std::optional<InsertionPlan> {
-    if (failure) failure->why = std::move(why);
-    return std::nullopt;
+/// excitation regions, and validate the partition.  Everything derived here
+/// is a function of S1 alone (the divisor covers only ride along in the
+/// plan), so the outcome is memoized per S1 block.
+const InsertionPlanner::FinishOutcome& InsertionPlanner::finish_outcome(
+    const DynBitset& s1) {
+  key_scratch_ = s1.words();
+  if (const std::uint32_t* idx = finish_memo_.find(key_scratch_)) {
+    ++finish_hits_;
+    return finish_results_[*idx];
+  }
+  finish_memo_.emplace(key_scratch_,
+                       static_cast<std::uint32_t>(finish_results_.size()));
+  finish_results_.emplace_back();
+  FinishOutcome out;
+  auto fail = [&](std::string why) -> const FinishOutcome& {
+    out.ok = false;
+    out.why = std::move(why);
+    finish_results_.back() = std::move(out);
+    return finish_results_.back();
   };
-  const DynBitset s0 = ~plan.s1;
 
-  // Input borders: states where f changes value along an arc.
-  plan.er_rise = sg.empty_set();
-  plan.er_fall = sg.empty_set();
-  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
-    for (const auto& edge : sg.succs(s)) {
-      if (!plan.s1.test(s) && plan.s1.test(edge.target))
-        plan.er_rise.set(edge.target);
-      if (plan.s1.test(s) && !plan.s1.test(edge.target))
-        plan.er_fall.set(edge.target);
+  const DynBitset s0 = ~s1;
+
+  // Input borders: states where the divisor changes value along an arc.
+  out.er_rise = sg_.empty_set();
+  out.er_fall = sg_.empty_set();
+  for (StateId s = 0; s < static_cast<StateId>(sg_.num_states()); ++s) {
+    for (const auto& edge : sg_.succs(s)) {
+      if (!s1.test(s) && s1.test(edge.target)) out.er_rise.set(edge.target);
+      if (s1.test(s) && !s1.test(edge.target)) out.er_fall.set(edge.target);
     }
   }
-  if (plan.er_rise.none() && plan.er_fall.none())
+  if (out.er_rise.none() && out.er_fall.none())
     return fail("divisor function never changes value");
 
-  const auto diamonds = enumerate_diamonds(sg);
+  const auto& dias = diamonds();
   std::string why;
-  if (!grow_region(sg, plan.s1, diamonds, &plan.er_rise, &why))
+  if (!grow_region(sg_, s1, dias, &out.er_rise, &why))
     return fail("ER(x+): " + why);
-  if (!grow_region(sg, s0, diamonds, &plan.er_fall, &why))
+  if (!grow_region(sg_, s0, dias, &out.er_fall, &why))
     return fail("ER(x-): " + why);
 
   // A state cannot host both a pending rise and a pending fall.
-  if (!plan.er_rise.disjoint(plan.er_fall))
+  if (!out.er_rise.disjoint(out.er_fall))
     return fail("ER(x+) and ER(x-) overlap");
 
   // Cross-region hazard: a diamond with one middle corner inside ER(x+)
   // whose top lands in ER(x-) means a concurrent event makes f fall while
   // x+ is still pending — the pending transition would have to be
   // cancelled, which Muller semantics forbids.  (Symmetrically for x-.)
-  for (const auto& dia : diamonds) {
+  for (const auto& dia : dias) {
     const bool mid_rise =
-        plan.er_rise.test(dia.left) || plan.er_rise.test(dia.right);
+        out.er_rise.test(dia.left) || out.er_rise.test(dia.right);
     const bool mid_fall =
-        plan.er_fall.test(dia.left) || plan.er_fall.test(dia.right);
-    if (mid_rise && plan.er_fall.test(dia.top))
+        out.er_fall.test(dia.left) || out.er_fall.test(dia.right);
+    if (mid_rise && out.er_fall.test(dia.top))
       return fail("concurrent event cancels pending x+ (diamond into ER(x-))");
-    if (mid_fall && plan.er_rise.test(dia.top))
+    if (mid_fall && out.er_rise.test(dia.top))
       return fail("concurrent event cancels pending x- (diamond into ER(x+))");
   }
 
-  const StateId init = sg.initial();
-  plan.initial_value = plan.s1.test(init) && !plan.er_rise.test(init);
-  if (plan.er_fall.test(init)) plan.initial_value = true;
+  const StateId init = sg_.initial();
+  out.initial_value = s1.test(init) && !out.er_rise.test(init);
+  if (out.er_fall.test(init)) out.initial_value = true;
+  out.ok = true;
+  finish_results_.back() = std::move(out);
+  return finish_results_.back();
+}
+
+std::optional<InsertionPlan> InsertionPlanner::finish(
+    InsertionPlan plan, InsertionFailure* failure) {
+  const FinishOutcome& out = finish_outcome(plan.s1);
+  if (!out.ok) return plan_fail(failure, out.why);
+  plan.er_rise = out.er_rise;
+  plan.er_fall = out.er_fall;
+  plan.initial_value = out.initial_value;
   return plan;
 }
 
-}  // namespace
-
-std::optional<InsertionPlan> plan_insertion(const StateGraph& sg,
-                                            const Cover& f,
-                                            InsertionFailure* failure) {
+std::optional<InsertionPlan> InsertionPlanner::plan(const Cover& f,
+                                                    InsertionFailure* failure) {
   InsertionPlan plan;
   plan.f = f;
   plan.f_reset = Cover(f.num_vars());
-  plan.s1 = sg.empty_set();
-  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
-    if (f.eval(sg.code(s))) plan.s1.set(s);
-  return finish_plan(sg, std::move(plan), failure);
+  plan.s1 = sg_.empty_set();
+  for (StateId s = 0; s < static_cast<StateId>(sg_.num_states()); ++s)
+    if (f.eval(sg_.code(s))) plan.s1.set(s);
+  return finish(std::move(plan), failure);
 }
 
-std::optional<InsertionPlan> plan_latch_insertion(const StateGraph& sg,
-                                                  const Cover& f_set,
-                                                  const Cover& f_reset,
-                                                  InsertionFailure* failure) {
-  auto fail = [&](std::string why) -> std::optional<InsertionPlan> {
-    if (failure) failure->why = std::move(why);
-    return std::nullopt;
-  };
-
+std::optional<InsertionPlan> InsertionPlanner::plan_latch(
+    const Cover& f_set, const Cover& f_reset, InsertionFailure* failure) {
   InsertionPlan plan;
   plan.f = f_set;
   plan.f_reset = f_reset;
   plan.latch = true;
-  plan.s1 = sg.empty_set();
+  plan.s1 = sg_.empty_set();
 
   // Propagate SR-latch semantics over the reachable graph: value 1 where
   // f_set holds, 0 where f_reset holds, inherited from predecessors
   // elsewhere.  Any conflict means the latch value is not well-defined.
-  const auto n = static_cast<StateId>(sg.num_states());
+  const auto n = static_cast<StateId>(sg_.num_states());
   std::vector<signed char> value(static_cast<std::size_t>(n), -1);
-  const StateId init = sg.initial();
+  const StateId init = sg_.initial();
   auto forced = [&](StateId s) -> int {
-    const StateCode code = sg.code(s);
+    const StateCode code = sg_.code(s);
     const bool set = f_set.eval(code);
     const bool reset = f_reset.eval(code);
     if (set && reset) return -2;  // conflict
@@ -189,83 +214,147 @@ std::optional<InsertionPlan> plan_latch_insertion(const StateGraph& sg,
   };
   {
     const int fv = forced(init);
-    if (fv == -2) return fail("latch set and reset overlap in initial state");
-    if (fv == -1) return fail("latch value undefined in initial state");
+    if (fv == -2)
+      return plan_fail(failure, "latch set and reset overlap in initial state");
+    if (fv == -1)
+      return plan_fail(failure, "latch value undefined in initial state");
     value[static_cast<std::size_t>(init)] = static_cast<signed char>(fv);
   }
   std::vector<StateId> queue{init};
   while (!queue.empty()) {
     const StateId u = queue.back();
     queue.pop_back();
-    for (const auto& edge : sg.succs(u)) {
+    for (const auto& edge : sg_.succs(u)) {
       const StateId v = edge.target;
       int fv = forced(v);
-      if (fv == -2) return fail("latch set and reset overlap");
+      if (fv == -2) return plan_fail(failure, "latch set and reset overlap");
       if (fv == -1) fv = value[static_cast<std::size_t>(u)];
       if (value[static_cast<std::size_t>(v)] == -1) {
         value[static_cast<std::size_t>(v)] = static_cast<signed char>(fv);
         queue.push_back(v);
       } else if (value[static_cast<std::size_t>(v)] != fv) {
-        return fail("latch value ambiguous (path-dependent)");
+        return plan_fail(failure, "latch value ambiguous (path-dependent)");
       }
     }
   }
   for (StateId s = 0; s < n; ++s)
     if (value[static_cast<std::size_t>(s)] == 1) plan.s1.set(s);
-  return finish_plan(sg, std::move(plan), failure);
+  return finish(std::move(plan), failure);
 }
 
-std::optional<InsertionPlan> plan_state_latch_insertion(
-    const StateGraph& sg, const DynBitset& set_states,
-    const DynBitset& reset_states, InsertionFailure* failure) {
-  auto fail = [&](std::string why) -> std::optional<InsertionPlan> {
-    if (failure) failure->why = std::move(why);
-    return std::nullopt;
-  };
-  if (!set_states.disjoint(reset_states))
-    return fail("latch set and reset state sets overlap");
+const InsertionPlanner::PropagateOutcome&
+InsertionPlanner::propagate_outcome(const DynBitset& set_states,
+                                    const DynBitset& reset_states) {
+  key_scratch_.assign(set_states.words().begin(), set_states.words().end());
+  key_scratch_.insert(key_scratch_.end(), reset_states.words().begin(),
+                      reset_states.words().end());
+  if (const std::uint32_t* idx = region_memo_.find(key_scratch_)) {
+    ++region_hits_;
+    return propagate_results_[*idx];
+  }
+  region_memo_.emplace(key_scratch_,
+                       static_cast<std::uint32_t>(propagate_results_.size()));
+  propagate_results_.emplace_back();
+  PropagateOutcome out;
 
-  InsertionPlan plan;
-  plan.f = Cover(sg.num_signals());
-  plan.f_reset = Cover(sg.num_signals());
-  plan.latch = true;
-  plan.s1 = sg.empty_set();
-
-  const auto n = static_cast<StateId>(sg.num_states());
-  std::vector<signed char> value(static_cast<std::size_t>(n), -1);
-  const StateId init = sg.initial();
+  const auto n = static_cast<StateId>(sg_.num_states());
+  const StateId init = sg_.initial();
   auto forced = [&](StateId s) -> int {
     if (set_states.test(static_cast<std::size_t>(s))) return 1;
     if (reset_states.test(static_cast<std::size_t>(s))) return 0;
     return -1;
   };
-  {
-    // The initial value may be undetermined; propagating forward from the
-    // forced states fixes it when the cycle structure does (otherwise the
-    // backward pass below resolves or rejects).
-    int fv = forced(init);
-    if (fv == -1) fv = 0;  // provisional; re-checked by the consistency pass
-    value[static_cast<std::size_t>(init)] = static_cast<signed char>(fv);
-  }
-  std::vector<StateId> queue{init};
-  while (!queue.empty()) {
-    const StateId u = queue.back();
-    queue.pop_back();
-    for (const auto& edge : sg.succs(u)) {
-      const StateId v = edge.target;
-      int fv = forced(v);
-      if (fv == -1) fv = value[static_cast<std::size_t>(u)];
-      if (value[static_cast<std::size_t>(v)] == -1) {
-        value[static_cast<std::size_t>(v)] = static_cast<signed char>(fv);
-        queue.push_back(v);
-      } else if (value[static_cast<std::size_t>(v)] != fv) {
-        return fail("latch value ambiguous (path-dependent)");
+
+  // Propagate forward from one assumed initial value; returns the value
+  // assignment or nullopt on a contradiction with the forced states.
+  auto propagate = [&](signed char init_value)
+      -> std::optional<std::vector<signed char>> {
+    std::vector<signed char> value(static_cast<std::size_t>(n), -1);
+    value[static_cast<std::size_t>(init)] = init_value;
+    std::vector<StateId> queue{init};
+    while (!queue.empty()) {
+      const StateId u = queue.back();
+      queue.pop_back();
+      for (const auto& edge : sg_.succs(u)) {
+        const StateId v = edge.target;
+        int fv = forced(v);
+        if (fv == -1) fv = value[static_cast<std::size_t>(u)];
+        if (value[static_cast<std::size_t>(v)] == -1) {
+          value[static_cast<std::size_t>(v)] = static_cast<signed char>(fv);
+          queue.push_back(v);
+        } else if (value[static_cast<std::size_t>(v)] != fv) {
+          return std::nullopt;
+        }
       }
     }
+    return value;
+  };
+
+  // The initial value may be undetermined by the seeds; propagation from a
+  // provisional value then either fixes it (the cycle structure is
+  // consistent with that choice) or contradicts a forced state.  Try 0
+  // first — matching the historical choice — and retry with 1 before
+  // rejecting: a cycle structure that forces the initial value to 1 is a
+  // perfectly valid insertion, not an ambiguity.
+  std::optional<std::vector<signed char>> value;
+  const int fv = forced(init);
+  if (fv != -1) {
+    value = propagate(static_cast<signed char>(fv));
+  } else {
+    value = propagate(0);
+    if (!value) value = propagate(1);
   }
+  if (!value) {
+    out.ok = false;
+    out.why = "latch value ambiguous (path-dependent)";
+    propagate_results_.back() = std::move(out);
+    return propagate_results_.back();
+  }
+
+  out.ok = true;
+  out.s1 = sg_.empty_set();
   for (StateId s = 0; s < n; ++s)
-    if (value[static_cast<std::size_t>(s)] == 1) plan.s1.set(s);
-  return finish_plan(sg, std::move(plan), failure);
+    if ((*value)[static_cast<std::size_t>(s)] == 1)
+      out.s1.set(static_cast<std::size_t>(s));
+  propagate_results_.back() = std::move(out);
+  return propagate_results_.back();
+}
+
+std::optional<InsertionPlan> InsertionPlanner::plan_state_latch(
+    const DynBitset& set_states, const DynBitset& reset_states,
+    InsertionFailure* failure) {
+  if (!set_states.disjoint(reset_states))
+    return plan_fail(failure, "latch set and reset state sets overlap");
+
+  const PropagateOutcome& prop = propagate_outcome(set_states, reset_states);
+  if (!prop.ok) return plan_fail(failure, prop.why);
+
+  InsertionPlan plan;
+  plan.f = Cover(sg_.num_signals());
+  plan.f_reset = Cover(sg_.num_signals());
+  plan.latch = true;
+  plan.s1 = prop.s1;
+  return finish(std::move(plan), failure);
+}
+
+std::optional<InsertionPlan> plan_insertion(const StateGraph& sg,
+                                            const Cover& f,
+                                            InsertionFailure* failure) {
+  return InsertionPlanner(sg).plan(f, failure);
+}
+
+std::optional<InsertionPlan> plan_latch_insertion(const StateGraph& sg,
+                                                  const Cover& f_set,
+                                                  const Cover& f_reset,
+                                                  InsertionFailure* failure) {
+  return InsertionPlanner(sg).plan_latch(f_set, f_reset, failure);
+}
+
+std::optional<InsertionPlan> plan_state_latch_insertion(
+    const StateGraph& sg, const DynBitset& set_states,
+    const DynBitset& reset_states, InsertionFailure* failure) {
+  return InsertionPlanner(sg).plan_state_latch(set_states, reset_states,
+                                               failure);
 }
 
 StateGraph insert_signal(const StateGraph& sg, const InsertionPlan& plan,

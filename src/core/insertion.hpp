@@ -24,11 +24,13 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "boolf/cover.hpp"
 #include "sg/properties.hpp"
 #include "sg/state_graph.hpp"
 #include "util/dynbitset.hpp"
+#include "util/flat_map.hpp"
 
 namespace sitm {
 
@@ -47,9 +49,95 @@ struct InsertionFailure {
   std::string why;
 };
 
+/// Incremental insertion-planning engine: one planner per SG revision.
+///
+/// Planning one candidate re-derives per-graph state the candidates of a
+/// `resolve_csc` round or a mapper iteration all share: the diamond
+/// enumeration (the dominant cost — previously recomputed inside every
+/// plan), and, for candidates whose seeds propagate to the same S1 block,
+/// the grown excitation regions.  The planner owns that shared state:
+///
+///  * diamonds are enumerated lazily, once, on the first plan that reaches
+///    region growth;
+///  * a memo keyed by the (set-seed, reset-seed) switching-region pair
+///    caches the propagated latch block (or the propagation failure), so
+///    candidates bounded by events with identical switching regions skip
+///    the fixpoint;
+///  * a second memo keyed by the S1 block itself caches the grown
+///    ER(x+)/ER(x-) pair, the derived initial value, or the growth failure
+///    — shared even between candidates with different seeds (and between
+///    combinational and latch divisors) that induce the same bipartition.
+///
+/// Every query returns exactly what the one-shot free functions below
+/// return, failure strings included; `tests/perf_equiv_test.cpp` pins the
+/// memoized answers against fresh one-shot plans.  The planner holds a
+/// reference to the SG — do not mutate or destroy the graph while using it.
+class InsertionPlanner {
+ public:
+  explicit InsertionPlanner(const StateGraph& sg);
+
+  /// Combinational divisor `f` (S1 = states where f evaluates to 1).
+  std::optional<InsertionPlan> plan(const Cover& f,
+                                    InsertionFailure* failure = nullptr);
+
+  /// Cover-based SR-latch divisor (see `plan_latch_insertion`).
+  std::optional<InsertionPlan> plan_latch(const Cover& f_set,
+                                          const Cover& f_reset,
+                                          InsertionFailure* failure = nullptr);
+
+  /// State-set latch divisor (see `plan_state_latch_insertion`).
+  std::optional<InsertionPlan> plan_state_latch(
+      const DynBitset& set_states, const DynBitset& reset_states,
+      InsertionFailure* failure = nullptr);
+
+  /// The graph's diamonds, enumerated on first use and then shared.
+  const std::vector<Diamond>& diamonds();
+
+  /// Memo effectiveness counters (queries answered from a cache).
+  std::size_t region_memo_hits() const { return region_hits_; }
+  std::size_t finish_memo_hits() const { return finish_hits_; }
+
+ private:
+  /// Grown regions + initial value for one S1 block, or the failure reason.
+  struct FinishOutcome {
+    bool ok = false;
+    DynBitset er_rise, er_fall;
+    bool initial_value = false;
+    std::string why;
+  };
+  /// Propagated latch block for one (set, reset) seed pair, or the failure.
+  struct PropagateOutcome {
+    bool ok = false;
+    DynBitset s1;
+    std::string why;
+  };
+
+  /// Compute input borders + region growth for `plan.s1`, memoized.
+  std::optional<InsertionPlan> finish(InsertionPlan plan,
+                                      InsertionFailure* failure);
+  const FinishOutcome& finish_outcome(const DynBitset& s1);
+  const PropagateOutcome& propagate_outcome(const DynBitset& set_states,
+                                            const DynBitset& reset_states);
+
+  const StateGraph& sg_;
+  std::optional<std::vector<Diamond>> diamonds_;
+  /// (set words ++ reset words) -> index into propagate_results_.
+  FlatMap<std::vector<std::uint64_t>, std::uint32_t, WordVecHash> region_memo_;
+  std::vector<PropagateOutcome> propagate_results_;
+  /// s1 words -> index into finish_results_.
+  FlatMap<std::vector<std::uint64_t>, std::uint32_t, WordVecHash> finish_memo_;
+  std::vector<FinishOutcome> finish_results_;
+  /// Reused lookup-key buffer: queries probe with it and only a memo miss
+  /// pays for the key copy (the memo is on the per-candidate hot path).
+  std::vector<std::uint64_t> key_scratch_;
+  std::size_t region_hits_ = 0, finish_hits_ = 0;
+};
+
 /// Compute the I-partition for the combinational divisor `f` (S1 = states
 /// where f evaluates to 1); returns the failure reason if no legal
-/// speed-independence-preserving insertion exists.
+/// speed-independence-preserving insertion exists.  One-shot shell over a
+/// throwaway InsertionPlanner; callers planning many candidates against one
+/// SG should construct the planner once and reuse it.
 std::optional<InsertionPlan> plan_insertion(const StateGraph& sg,
                                             const Cover& f,
                                             InsertionFailure* failure = nullptr);

@@ -15,8 +15,9 @@ namespace {
 
 /// Is the planned signal identical (over reachable states) to an existing
 /// signal or its complement?  Such an insertion adds a redundant wire.
-bool duplicates_signal(const StateGraph& sg, const DynBitset& s1) {
-  const DynBitset reachable = sg.reachable();
+/// `reachable` is the (per-iteration, shared) reachable set of `sg`.
+bool duplicates_signal(const StateGraph& sg, const DynBitset& reachable,
+                       const DynBitset& s1) {
   for (int sig = 0; sig < sg.num_signals(); ++sig) {
     bool same = true, inverse = true;
     reachable.for_each([&](std::size_t s) {
@@ -105,6 +106,12 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
     result.syntheses.clear();
     synthesize_all(sg, opts.mc, &result.syntheses);
 
+    // Shared per-iteration planning state: one diamond enumeration and one
+    // region memo serve every divisor candidate of every target below, and
+    // the reachable set feeds the duplicate-signal filter.
+    InsertionPlanner planner(sg);
+    const DynBitset reachable = sg.reachable();
+
     // Collect event covers whose signal implementation exceeds the library.
     struct Target {
       const SignalSynthesis* synth;
@@ -146,7 +153,7 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
       auto consider = [&](const Cover& f, std::optional<InsertionPlan> plan,
                           const Division& div) {
         if (!plan) return;
-        if (duplicates_signal(sg, plan->s1)) return;
+        if (duplicates_signal(sg, reachable, plan->s1)) return;
         ProgressEstimate est =
             estimate_progress(sg, result.syntheses, *target.cover,
                               div.quotient, div.remainder, *plan);
@@ -159,12 +166,11 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
         Division div = algebraic_division(target.cover->cover, f);
         if (div.quotient.empty()) continue;  // not an algebraic divisor
         // Combinational divisor: the new signal is a delayed copy of f.
-        consider(f, plan_insertion(sg, f), div);
+        consider(f, planner.plan(f), div);
         // Sequential divisor: an SR sub-latch set by f and reset by the
         // complement-literal partner cube (C-element decomposition).
         const Cover partner = latch_reset_partner(f);
-        if (!partner.empty())
-          consider(f, plan_latch_insertion(sg, f, partner), div);
+        if (!partner.empty()) consider(f, planner.plan_latch(f, partner), div);
       }
       // Properties 3.1 / 3.2 rank the candidates (safe substitutions and
       // bounded impact on other covers first); the exact accept/reject
@@ -185,12 +191,16 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
       // Every candidate evaluation reads only the shared (const) SG and its
       // own plan, so both steps fan out to a worker pool
       // (MapperOptions::threads): the insert/verify pre-check in rank-order
-      // chunks, then the full resyntheses of the accepted set.  The
-      // evaluated set — the first max_full_evals candidates whose insertion
-      // verifies — and the winner — the best (metrics, states) key,
-      // earliest candidate on ties — are both determined in candidate
-      // order, so the mapped result and the search counters are
-      // bit-identical to the serial loop at every thread count.
+      // rounds, each round's verified candidates fully resynthesized before
+      // the next round starts.  The evaluated set — the first
+      // max_full_evals candidates whose insertion verifies — and the winner
+      // — the best (metrics, states) key, earliest candidate on ties — are
+      // both determined in candidate order, so the mapped result and the
+      // search counters are bit-identical to the serial loop at every
+      // thread count.  With prune_pre_checks the loop additionally stops
+      // at the first round boundary where a committable running best
+      // exists: the pruned candidates carry estimates no better than what
+      // already won, and never pay for insert_signal/verify_insertion.
       struct Evaluated {
         StateGraph sg;
         std::vector<SignalSynthesis> syntheses;
@@ -201,8 +211,23 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
       const std::string name = fresh_name(sg, name_counter);
       const int eval_threads =
           resolve_worker_threads(opts.threads, candidates.size());
+      // Round width.  When pruning, the stop decision happens only on round
+      // boundaries, so the width must not depend on the worker count — a
+      // fixed 8 keeps the pruned result bit-identical at every thread
+      // count.  Without pruning the width is unobservable (the evaluated
+      // set is the first `cap` verifying candidates regardless), so one
+      // chunk per worker over-checks at most one chunk past the serial
+      // stop, exactly like the historical pre-check loop.
+      const std::size_t round_width =
+          opts.prune_pre_checks
+              ? std::size_t{8}
+              : static_cast<std::size_t>(std::max(eval_threads, 1));
 
       std::vector<Evaluated> evaluated;
+      std::optional<std::size_t> best_idx;  // committable running best
+      auto key = [](const Evaluated& e) {
+        return std::make_tuple(e.metrics.tuple(), e.states);
+      };
       {
         const std::size_t cap =
             opts.max_full_evals > 0
@@ -211,17 +236,16 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
         std::vector<std::optional<StateGraph>> verified;
         std::size_t pos = 0;
         while (pos < candidates.size() && evaluated.size() < cap) {
-          // Chunked so a parallel run over-checks at most one chunk beyond
-          // where the serial scan would have stopped.
+          if (opts.prune_pre_checks && best_idx) break;
           const std::size_t chunk =
-              std::min(candidates.size() - pos,
-                       static_cast<std::size_t>(std::max(eval_threads, 1)));
+              std::min(candidates.size() - pos, round_width);
           verified.assign(chunk, std::nullopt);
           parallel_for(chunk, eval_threads, [&](std::size_t k) {
             StateGraph next =
                 insert_signal(sg, candidates[pos + k].plan, name);
             if (verify_insertion(sg, next)) verified[k] = std::move(next);
           });
+          const std::size_t first_new = evaluated.size();
           for (std::size_t k = 0; k < chunk && evaluated.size() < cap; ++k) {
             if (!verified[k]) continue;
             Evaluated ev;
@@ -229,30 +253,28 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
             ev.candidate = &candidates[pos + k];
             evaluated.push_back(std::move(ev));
           }
+          parallel_for(evaluated.size() - first_new, eval_threads,
+                       [&](std::size_t k) {
+                         Evaluated& ev = evaluated[first_new + k];
+                         synthesize_all(ev.sg, opts.mc, &ev.syntheses);
+                         ev.metrics = metrics_of(ev.syntheses, opts.library);
+                         ev.states = ev.sg.num_states();
+                       });
+          for (std::size_t i = first_new; i < evaluated.size(); ++i) {
+            // Progress requirement: the global cost tuple strictly
+            // decreases.  This is the termination measure of the whole loop
+            // — temporary growth of one cover (the acknowledgement literal
+            // of Property 3.2) is fine as long as fewer gates exceed the
+            // library.
+            if (!(evaluated[i].metrics < current_metrics)) continue;
+            if (!best_idx || key(evaluated[i]) < key(evaluated[*best_idx]))
+              best_idx = i;
+          }
           pos += chunk;
         }
       }
       result.resyntheses += static_cast<long>(evaluated.size());
-
-      parallel_for(evaluated.size(), eval_threads, [&](std::size_t k) {
-        Evaluated& ev = evaluated[k];
-        synthesize_all(ev.sg, opts.mc, &ev.syntheses);
-        ev.metrics = metrics_of(ev.syntheses, opts.library);
-        ev.states = ev.sg.num_states();
-      });
-
-      Evaluated* best = nullptr;
-      auto key = [](const Evaluated& e) {
-        return std::make_tuple(e.metrics.tuple(), e.states);
-      };
-      for (Evaluated& ev : evaluated) {
-        // Progress requirement: the global cost tuple strictly decreases.
-        // This is the termination measure of the whole loop — temporary
-        // growth of one cover (the acknowledgement literal of Property 3.2)
-        // is fine as long as fewer gates exceed the library.
-        if (!(ev.metrics < current_metrics)) continue;
-        if (!best || key(ev) < key(*best)) best = &ev;
-      }
+      Evaluated* best = best_idx ? &evaluated[*best_idx] : nullptr;
 
       if (best) {
         MapStep step;

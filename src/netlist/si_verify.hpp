@@ -27,7 +27,7 @@ namespace sitm {
 struct SiVerifyResult {
   bool ok = true;
   std::string why;          ///< human-readable failure description
-  std::size_t num_states = 0;  ///< composite states explored
+  std::size_t num_states = 0;  ///< distinct composite states discovered
 
   explicit operator bool() const { return ok; }
 };

@@ -11,6 +11,16 @@ DynBitset enabled_set(const StateGraph& sg, Event e) {
   return out;
 }
 
+std::vector<DynBitset> all_switching_regions(const StateGraph& sg) {
+  std::vector<DynBitset> region(2 * static_cast<std::size_t>(sg.num_signals()),
+                                sg.empty_set());
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
+    for (const auto& edge : sg.succs(s))
+      region[2 * edge.event.signal + (edge.event.rising ? 1 : 0)].set(
+          edge.target);
+  return region;
+}
+
 namespace {
 
 /// Connected components of `set` using arcs (both directions) whose

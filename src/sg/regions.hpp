@@ -35,6 +35,13 @@ std::vector<Region> signal_regions(const StateGraph& sg, int sig);
 /// Set of states where event `e` is enabled (union of its ERs).
 DynBitset enabled_set(const StateGraph& sg, Event e);
 
+/// Switching region of every event in one arc pass, indexed by the dense
+/// event id 2*signal + (rising ? 1 : 0); an event that never occurs has an
+/// empty entry.  This is the seed scan of resolve_csc's latch-candidate
+/// enumeration — shared with its benchmarks and equivalence tests so the
+/// three can never drift apart.
+std::vector<DynBitset> all_switching_regions(const StateGraph& sg);
+
 /// Union of the `er` fields of `regions`.
 DynBitset union_er(const StateGraph& sg, const std::vector<Region>& regions);
 /// Union of the `qr` fields of `regions`.

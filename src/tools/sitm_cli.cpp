@@ -2,14 +2,15 @@
 //
 //   sitm info   <file.g|file.sg>           specification statistics & checks
 //   sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] [--eqn out.eqn]
-//               [--threads N] [--map-threads N] [--stop-after STAGE]
-//               [--skip STAGE] [--json report.json]
+//               [--threads N] [--map-threads N] [--map-prune]
+//               [--stop-after STAGE] [--skip STAGE] [--json report.json]
 //                                          staged flow: CSC-resolve + map
 //   sitm verify <file> [--threads N] [--json report.json]
 //                                          synthesize + gate-level SI check
 //   sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]
-//               [--map-threads N] [--stop-after STAGE] [--skip STAGE]
-//               [--json report.json]       full flow over a spec corpus
+//               [--map-threads N] [--map-prune] [--stop-after STAGE]
+//               [--skip STAGE] [--json report.json]
+//                                          full flow over a spec corpus
 //   sitm bench  <name|list>                dump a suite benchmark as .g
 //
 // map/verify/batch are thin shells over the staged Flow engine
@@ -45,13 +46,13 @@ int usage() {
       "  sitm info   <file.g|file.sg>\n"
       "  sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] "
       "[--eqn out.eqn]\n"
-      "              [--threads N] [--map-threads N] [--stop-after STAGE] "
-      "[--skip STAGE]\n"
+      "              [--threads N] [--map-threads N] [--map-prune] "
+      "[--stop-after STAGE] [--skip STAGE]\n"
       "              [--json out.json]\n"
       "  sitm verify <file> [--threads N] [--json out.json]\n"
       "  sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]\n"
-      "              [--map-threads N] [--stop-after STAGE] [--skip STAGE] "
-      "[--json out.json]\n"
+      "              [--map-threads N] [--map-prune] [--stop-after STAGE] "
+      "[--skip STAGE] [--json out.json]\n"
       "  sitm bench  <name|list>\n"
       "stages: load reachability properties csc synth decomp map verify "
       "emit\n");
@@ -95,6 +96,10 @@ struct FlowArgs {
       // Candidate-resynthesis workers inside the map stage (bit-identical
       // netlist at any count; 0 = one per hardware core).
       if (!parse_int_arg(next(), 0, &flow.mapper.threads)) return false;
+    } else if (arg == "--map-prune") {
+      // Stop the map stage's insert/verify pre-check once a committable
+      // candidate exists (may commit a different, equally valid divisor).
+      flow.mapper.prune_pre_checks = true;
     } else if (arg == "--stop-after") {
       const char* v = next();
       if (!v) return false;

@@ -79,6 +79,11 @@ class DynBitset {
   /// Collect set bits into a vector of indices.
   std::vector<std::size_t> to_vector() const;
 
+  /// Packed 64-bit words (tail bits zeroed); equal sets have equal words.
+  /// Exposed so set-keyed memo tables can hash/compare without re-walking
+  /// bits (the insertion planner keys its caches by region words).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
  private:
   void trim_tail();
   std::size_t size_ = 0;

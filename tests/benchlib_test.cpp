@@ -5,6 +5,7 @@
 
 #include "benchlib/generators.hpp"
 #include "benchlib/suite.hpp"
+#include "core/csc.hpp"
 #include "sg/properties.hpp"
 #include "stg/stg.hpp"
 #include "util/error.hpp"
@@ -87,6 +88,29 @@ TEST(Generators, HazardMatchesPaperStructure) {
   EXPECT_FALSE(enumerate_diamonds(sg).empty());
 }
 
+TEST(Generators, CscDiamondRingConflictedAndConcurrent) {
+  // The diamond ring must keep the plain ring's CSC conflicts (one per
+  // segment-boundary pair) while adding real state diamonds — the insertion
+  // planner's benchmark workload.  It stays speed-independent and
+  // consistent, so resolve_csc accepts it.
+  for (const auto& [segments, width] : {std::pair{2, 2}, {3, 3}, {3, 4}}) {
+    const StateGraph sg =
+        bench::make_csc_diamond_ring(segments, width).to_state_graph();
+    const std::string label = "csc_diamond_ring(" +
+                              std::to_string(segments) + "," +
+                              std::to_string(width) + ")";
+    EXPECT_TRUE(check_consistency(sg)) << label;
+    EXPECT_TRUE(check_speed_independence(sg)) << label;
+    EXPECT_FALSE(check_csc(sg)) << label;
+    EXPECT_EQ(count_csc_conflicts(sg), segments * (segments - 1) / 2)
+        << label;
+    EXPECT_GE(enumerate_diamonds(sg).size(),
+              static_cast<std::size_t>(width * (width - 1) / 2)) << label;
+    const CscResult resolved = resolve_csc(sg);
+    EXPECT_TRUE(resolved.resolved) << label << ": " << resolved.failure;
+  }
+}
+
 TEST(Generators, BadParametersThrow) {
   EXPECT_THROW(bench::make_pipeline(0), Error);
   EXPECT_THROW(bench::make_parallelizer(0), Error);
@@ -97,6 +121,8 @@ TEST(Generators, BadParametersThrow) {
   EXPECT_THROW(bench::make_ring(0), Error);
   EXPECT_THROW(bench::make_tree(0), Error);
   EXPECT_THROW(bench::make_tree(9), Error);
+  EXPECT_THROW(bench::make_csc_diamond_ring(1, 2), Error);
+  EXPECT_THROW(bench::make_csc_diamond_ring(2, 0), Error);
 }
 
 TEST(Suite, Has32Benchmarks) {

@@ -164,5 +164,68 @@ TEST(Insertion, VerifyCatchesBrokenGraph) {
   EXPECT_FALSE(verify_insertion(before, after));
 }
 
+TEST(StateLatchInsertion, InitialValueForcedToOneIsResolved) {
+  // The initial state sits between the latch's set and reset regions, so
+  // the cycle structure forces its initial value to 1.  The historical
+  // planner only tried a provisional 0 and rejected the candidate as
+  // "ambiguous"; it must retry with 1 and produce the plan.
+  StateGraph sg;
+  const int a = sg.add_signal("a", SignalKind::kOutput);
+  const int b = sg.add_signal("b", SignalKind::kOutput);
+  const StateId s00 = sg.add_state(0b00);
+  const StateId s10 = sg.add_state(0b01);  // a=1
+  const StateId s11 = sg.add_state(0b11);
+  const StateId s01 = sg.add_state(0b10);  // b=1
+  sg.add_arc(s00, Event{a, true}, s10);
+  sg.add_arc(s10, Event{b, true}, s11);
+  sg.add_arc(s11, Event{a, false}, s01);
+  sg.add_arc(s01, Event{b, false}, s00);
+  sg.set_initial(s11);
+
+  DynBitset set_states = sg.empty_set();    // SR(a+)
+  set_states.set(s10);
+  DynBitset reset_states = sg.empty_set();  // SR(a-)
+  reset_states.set(s01);
+
+  InsertionFailure why;
+  const auto plan = plan_state_latch_insertion(sg, set_states, reset_states,
+                                               &why);
+  ASSERT_TRUE(plan.has_value()) << why.why;
+  EXPECT_TRUE(plan->initial_value);
+  EXPECT_TRUE(plan->s1.test(s10));
+  EXPECT_TRUE(plan->s1.test(s11));
+  EXPECT_FALSE(plan->s1.test(s00));
+  EXPECT_FALSE(plan->s1.test(s01));
+  EXPECT_TRUE(plan->er_rise.test(s10));
+  EXPECT_TRUE(plan->er_fall.test(s01));
+}
+
+TEST(StateLatchInsertion, TrulyAmbiguousValueStillRejected) {
+  // Two forced states meet in one join: no initial value makes the
+  // propagation consistent, so the retry must not mask real ambiguity.
+  StateGraph sg;
+  const int a = sg.add_signal("a", SignalKind::kOutput);
+  const int b = sg.add_signal("b", SignalKind::kOutput);
+  const StateId s00 = sg.add_state(0b00);
+  const StateId sa = sg.add_state(0b01);
+  const StateId sb = sg.add_state(0b10);
+  const StateId s11 = sg.add_state(0b11);
+  sg.add_arc(s00, Event{a, true}, sa);
+  sg.add_arc(s00, Event{b, true}, sb);
+  sg.add_arc(sa, Event{b, true}, s11);
+  sg.add_arc(sb, Event{a, true}, s11);
+  sg.set_initial(s00);
+
+  DynBitset set_states = sg.empty_set();
+  set_states.set(sa);
+  DynBitset reset_states = sg.empty_set();
+  reset_states.set(sb);
+
+  InsertionFailure why;
+  EXPECT_FALSE(
+      plan_state_latch_insertion(sg, set_states, reset_states, &why));
+  EXPECT_EQ(why.why, "latch value ambiguous (path-dependent)");
+}
+
 }  // namespace
 }  // namespace sitm

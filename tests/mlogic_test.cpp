@@ -11,7 +11,10 @@
 namespace sitm {
 namespace {
 
-const std::vector<std::string> kNames = {"a", "b", "c", "d", "e", "f"};
+// Covers in this file use up to 7 variables (DeeperKernels goes to g);
+// Cube::to_string indexes this table by variable, so it must cover them all
+// (one short and the render reads past the end — caught by the ASan job).
+const std::vector<std::string> kNames = {"a", "b", "c", "d", "e", "f", "g"};
 
 Cube cube(std::initializer_list<std::pair<int, bool>> lits) {
   Cube c = Cube::one();

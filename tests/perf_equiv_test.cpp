@@ -18,6 +18,7 @@
 #include "core/csc.hpp"
 #include "core/insertion.hpp"
 #include "sg/properties.hpp"
+#include "sg/regions.hpp"
 #include "sg/state_graph.hpp"
 #include "stg/stg.hpp"
 #include "util/error.hpp"
@@ -439,6 +440,14 @@ TEST(PerfEquiv, ResolveCscMatchesReferenceOnConflictedRings) {
     expect_csc_result_identical(resolve_csc(sg),
                                 reference_resolve_csc(sg));
   }
+  // Concurrency-rich conflicts: the diamond ring exercises the shared
+  // planner's memoized region growth against the reference's full rescans.
+  for (const auto& [segments, width] : {std::pair{2, 2}, {3, 3}}) {
+    const StateGraph sg =
+        bench::make_csc_diamond_ring(segments, width).to_state_graph();
+    ASSERT_GT(count_csc_conflicts(sg), 0) << segments << "," << width;
+    expect_csc_result_identical(resolve_csc(sg), reference_resolve_csc(sg));
+  }
 }
 
 TEST(PerfEquiv, ResolveCscMatchesReferenceOnCleanFamilies) {
@@ -607,6 +616,152 @@ TEST(PerfEquiv, IrredundantBothEnginesRejectUncoverableOnSet) {
   const std::vector<std::uint64_t> on{0b00, 0b11};
   EXPECT_THROW(irredundant(cubes, on, false), Error);
   EXPECT_THROW(irredundant(cubes, on, true), Error);
+}
+
+// ----- InsertionPlanner vs the retained one-shot reference -----------------
+
+void expect_plan_equal(const std::optional<InsertionPlan>& a,
+                       const std::optional<InsertionPlan>& b,
+                       const std::string& ctx) {
+  ASSERT_EQ(a.has_value(), b.has_value()) << ctx;
+  if (!a) return;
+  EXPECT_EQ(a->f, b->f) << ctx;
+  EXPECT_EQ(a->f_reset, b->f_reset) << ctx;
+  EXPECT_EQ(a->latch, b->latch) << ctx;
+  EXPECT_EQ(a->s1, b->s1) << ctx;
+  EXPECT_EQ(a->er_rise, b->er_rise) << ctx;
+  EXPECT_EQ(a->er_fall, b->er_fall) << ctx;
+  EXPECT_EQ(a->initial_value, b->initial_value) << ctx;
+}
+
+TEST(PerfEquiv, PlannerStateLatchMatchesOneShot) {
+  // One shared planner answering every (set, reset) switching-region pair —
+  // memo hits included (each query is issued twice) — must return exactly
+  // what a fresh one-shot plan returns, failure strings included.
+  std::vector<StateGraph> graphs;
+  for (int segments : {2, 3, 4})
+    graphs.push_back(bench::make_csc_ring(segments).to_state_graph());
+  graphs.push_back(bench::make_csc_diamond_ring(3, 3).to_state_graph());
+  graphs.push_back(bench::make_parallelizer(4).to_state_graph());
+  graphs.push_back(bench::make_combo(3, 3).to_state_graph());
+  graphs.push_back(bench::make_hazard().to_state_graph());
+
+  for (const StateGraph& sg : graphs) {
+    const std::vector<DynBitset> region = all_switching_regions(sg);
+    std::vector<std::size_t> occupied;
+    for (std::size_t e = 0; e < region.size(); ++e)
+      if (region[e].any()) occupied.push_back(e);
+
+    InsertionPlanner planner(sg);
+    std::size_t checked = 0;
+    for (const std::size_t e1 : occupied) {
+      for (const std::size_t e2 : occupied) {
+        if (e1 == e2 || checked >= 256) continue;
+        ++checked;
+        const std::string ctx =
+            "events " + std::to_string(e1) + "/" + std::to_string(e2);
+        InsertionFailure shared_why, one_shot_why;
+        const auto shared =
+            planner.plan_state_latch(region[e1], region[e2], &shared_why);
+        const auto one_shot = plan_state_latch_insertion(
+            sg, region[e1], region[e2], &one_shot_why);
+        expect_plan_equal(shared, one_shot, ctx);
+        if (!shared) EXPECT_EQ(shared_why.why, one_shot_why.why) << ctx;
+        // Second query hits the memo; the answer must not drift.
+        const auto again =
+            planner.plan_state_latch(region[e1], region[e2], &shared_why);
+        expect_plan_equal(again, one_shot, ctx + " (memoized)");
+      }
+    }
+    EXPECT_GT(planner.region_memo_hits() + planner.finish_memo_hits(), 0u);
+  }
+}
+
+TEST(PerfEquiv, PlannerStateLatchMatchesOneShotOnCorpus) {
+  // Same pin over the 32-spec corpus, capped per spec to keep it fast.
+  for (const auto& entry : bench::table1_suite()) {
+    const StateGraph sg = entry.stg.to_state_graph();
+    const std::vector<DynBitset> region = all_switching_regions(sg);
+    std::vector<std::size_t> occupied;
+    for (std::size_t e = 0; e < region.size(); ++e)
+      if (region[e].any()) occupied.push_back(e);
+
+    InsertionPlanner planner(sg);
+    std::size_t checked = 0;
+    for (const std::size_t e1 : occupied) {
+      for (const std::size_t e2 : occupied) {
+        if (e1 == e2 || checked >= 64) continue;
+        ++checked;
+        InsertionFailure shared_why, one_shot_why;
+        const auto shared =
+            planner.plan_state_latch(region[e1], region[e2], &shared_why);
+        const auto one_shot = plan_state_latch_insertion(
+            sg, region[e1], region[e2], &one_shot_why);
+        expect_plan_equal(shared, one_shot,
+                          entry.name + " " + std::to_string(e1) + "/" +
+                              std::to_string(e2));
+        if (!shared) EXPECT_EQ(shared_why.why, one_shot_why.why) << entry.name;
+      }
+    }
+  }
+}
+
+TEST(PerfEquiv, PlannerCoverMatchesOneShotRandomized) {
+  Rng rng(20260730);
+  const StateGraph graphs[] = {
+      bench::make_parallelizer(4).to_state_graph(),
+      bench::make_combo(3, 3).to_state_graph(),
+      bench::make_hazard().to_state_graph(),
+  };
+  for (const StateGraph& sg : graphs) {
+    InsertionPlanner planner(sg);
+    for (int round = 0; round < 64; ++round) {
+      // Random 1-3 literal cube divisor, plus its complement-literal
+      // partner as a latch reset — the same shapes the mapper generates.
+      Cube cube = Cube::one();
+      Cube partner = Cube::one();
+      const int lits = 1 + static_cast<int>(rng.below(3));
+      for (int l = 0; l < lits; ++l) {
+        const int var =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                sg.num_signals())));
+        const bool pol = rng.below(2) == 0;
+        cube = cube.with_literal(var, pol);
+        partner = partner.with_literal(var, !pol);
+      }
+      const Cover f(sg.num_signals(), {cube});
+      const Cover f_reset(sg.num_signals(), {partner});
+
+      InsertionFailure shared_why, one_shot_why;
+      const auto comb = planner.plan(f, &shared_why);
+      const auto comb_ref = plan_insertion(sg, f, &one_shot_why);
+      expect_plan_equal(comb, comb_ref, "combinational");
+      if (!comb) EXPECT_EQ(shared_why.why, one_shot_why.why);
+
+      const auto latch = planner.plan_latch(f, f_reset, &shared_why);
+      const auto latch_ref =
+          plan_latch_insertion(sg, f, f_reset, &one_shot_why);
+      expect_plan_equal(latch, latch_ref, "latch");
+      if (!latch) EXPECT_EQ(shared_why.why, one_shot_why.why);
+    }
+  }
+}
+
+TEST(PerfEquiv, ResolveCscSharedPlannerBitIdentical) {
+  // The shared-planner resolve_csc must match the retained one-shot
+  // planning path result for result (the memo only caches, it never
+  // reorders candidates).
+  std::vector<StateGraph> graphs;
+  for (int segments : {2, 3, 4})
+    graphs.push_back(bench::make_csc_ring(segments).to_state_graph());
+  graphs.push_back(bench::make_csc_diamond_ring(2, 2).to_state_graph());
+  graphs.push_back(bench::make_csc_diamond_ring(3, 3).to_state_graph());
+  graphs.push_back(bench::make_parallelizer(4).to_state_graph());
+  for (const StateGraph& sg : graphs) {
+    CscOptions reference;
+    reference.reference_planner = true;
+    expect_csc_result_identical(resolve_csc(sg), resolve_csc(sg, reference));
+  }
 }
 
 TEST(PerfEquiv, InferInitialCodeMatchesFullTokenGame) {
