@@ -263,13 +263,63 @@ BENCHMARK(BM_PlanInsertion)
     ->Args({5, 1})
     ->Unit(benchmark::kMillisecond);
 
+// One resolve_csc candidate round's insertion cost in isolation: every
+// planned (e1, e2) latch of the conflicted diamond ring, either materialized
+// (engine 1: insert_signal — full graph copy + prune_unreachable + copy-map
+// remap, the cost every scored candidate used to pay) or scored lazily from
+// the copy maps (engine 0: InsertionPreview — one reachability walk over the
+// implicit copy product).  Arg 0 is the fork width.  Both agree exactly on
+// every query resolve_csc asks (pinned by tests/perf_equiv_test.cpp); the
+// /0 vs /1 ratio is the per-candidate win behind winner-only
+// materialization.
+void BM_InsertSignal(benchmark::State& state) {
+  const StateGraph sg =
+      bench::make_csc_diamond_ring(4, static_cast<int>(state.range(0)))
+          .to_state_graph();
+  const std::vector<DynBitset> region = all_switching_regions(sg);
+  std::vector<const DynBitset*> occupied;
+  for (const auto& r : region)
+    if (r.any()) occupied.push_back(&r);
+  InsertionPlanner planner(sg);
+  std::vector<InsertionPlan> plans;
+  for (const DynBitset* r1 : occupied)
+    for (const DynBitset* r2 : occupied) {
+      if (r1 == r2) continue;
+      if (auto plan = planner.plan_state_latch(*r1, *r2))
+        plans.push_back(std::move(*plan));
+    }
+
+  const bool materialize = state.range(1) != 0;
+  std::size_t states = 0;
+  for (auto _ : state) {
+    states = 0;
+    for (const InsertionPlan& plan : plans) {
+      if (materialize) {
+        InsertionCopies copies;
+        const StateGraph next = insert_signal(sg, plan, "bz0", &copies);
+        states += next.num_states();
+      } else {
+        states += InsertionPreview(sg, plan).num_states();
+      }
+    }
+    benchmark::DoNotOptimize(states);
+  }
+  state.counters["plans"] = static_cast<double>(plans.size());
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_InsertSignal)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // resolve_csc end to end on the diamond ring (args: segments, width,
-// engine), shared incremental planner (engine 0) vs the retained one-shot
-// planning path (engine 1, CscOptions::reference_planner).  Bit-identical
-// CscResults by construction.  The end-to-end ratio understates the
-// planner (planning itself runs ~2.6x faster — see BM_PlanInsertion)
-// because insert_signal for the surviving candidates now dominates the
-// search; that is the next named target.
+// engine), the default lazy candidate engine (engine 0: shared incremental
+// planner, copy-map scoring, winner-only materialization, memoized
+// persistency baseline) vs the retained eager one-shot path (engine 1,
+// CscOptions::reference_planner).  Bit-identical CscResults by construction
+// (pinned by tests/perf_equiv_test.cpp).
 void BM_ResolveCscIncremental(benchmark::State& state) {
   const StateGraph sg =
       bench::make_csc_diamond_ring(static_cast<int>(state.range(0)),

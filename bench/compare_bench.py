@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Gate wall-time regressions against the checked-in benchmark baseline.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json [--threshold PCT]
+                     [--names REGEX] [--no-normalize]
+
+Both files are google-benchmark JSON reports (bench/run_bench.sh output).
+Benchmarks are matched by name; a benchmark regresses when its fresh
+real_time exceeds the baseline by more than --threshold percent (default
+25).  Only names matching --names (default: everything) are gated;
+benchmarks present in one file only are reported but never fail the gate.
+
+Because the baseline is produced on the repo's single-core benchmark
+container and the fresh run typically is not (CI runners differ in CPU,
+load and frequency scaling), raw cross-machine ratios are dominated by
+machine speed.  By default the gate therefore normalizes: each benchmark's
+ratio is divided by the median ratio over all matched benchmarks, so a
+uniform machine-speed shift cancels and only benchmarks that regressed
+*relative to the rest of the suite* fail.  --no-normalize gates on raw
+ratios instead (sensible when both runs come from the same machine).
+
+Exit status: 0 = no gated regression, 1 = regression, 2 = usage/input error.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_benchmarks(path):
+    """name -> real_time in nanoseconds, iteration entries only."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"compare_bench: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    out = {}
+    for bm in report.get("benchmarks", []):
+        if bm.get("run_type", "iteration") != "iteration":
+            continue  # skip mean/median/stddev aggregates
+        unit = bm.get("time_unit", "ns")
+        if unit not in to_ns:
+            print(f"compare_bench: unknown time_unit '{unit}' in {path}",
+                  file=sys.stderr)
+            sys.exit(2)
+        out[bm["name"]] = float(bm["real_time"]) * to_ns[unit]
+    if not out:
+        print(f"compare_bench: no benchmark entries in {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on wall-time regressions vs a baseline report.")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="allowed regression in percent (default 25)")
+    parser.add_argument("--names", default=".*",
+                        help="regex of benchmark names to gate")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="gate raw ratios (same-machine runs)")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+    name_re = re.compile(args.names)
+
+    matched = sorted(n for n in base if n in fresh and name_re.search(n))
+    missing = sorted(n for n in base
+                     if n not in fresh and name_re.search(n))
+    if not matched:
+        print("compare_bench: no gated benchmark present in both reports",
+              file=sys.stderr)
+        sys.exit(2)
+
+    ratios = {n: fresh[n] / base[n] for n in matched}
+    norm = 1.0 if args.no_normalize else median(ratios.values())
+    limit = 1.0 + args.threshold / 100.0
+
+    print(f"perf gate: {len(matched)} benchmark(s), threshold "
+          f"+{args.threshold:g}%"
+          + ("" if args.no_normalize
+             else f", machine-speed normalizer {norm:.3f}x (median ratio)"))
+    print("note: the checked-in baseline comes from the single-core "
+          "benchmark container; absolute times on other machines differ "
+          "and only the normalized spread is meaningful there.")
+
+    failed = []
+    for name in matched:
+        rel = ratios[name] / norm
+        verdict = "ok"
+        if rel > limit:
+            verdict = "REGRESSED"
+            failed.append(name)
+        print(f"  {name}: base {base[name] / 1e6:.3f} ms, "
+              f"fresh {fresh[name] / 1e6:.3f} ms, "
+              f"ratio {ratios[name]:.3f}x, relative {rel:.3f}x [{verdict}]")
+    for name in missing:
+        print(f"  {name}: missing from fresh run (not gated)")
+
+    if failed:
+        print(f"perf gate FAILED: {', '.join(failed)}", file=sys.stderr)
+        sys.exit(1)
+    print("perf gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,9 @@
 #   bench/run_bench.sh [build-dir] [extra google-benchmark args...]
 #
 # Builds the bench target if needed, then overwrites BENCH_scaling.json at
-# the repository root.  Compare two checkouts with e.g.:
+# the repository root (set BENCH_OUT to write elsewhere — CI uses this to
+# produce a fresh run for bench/compare_bench.py without touching the
+# checked-in baseline).  Compare two checkouts with e.g.:
 #
 #   jq -r '.benchmarks[] | "\(.name) \(.real_time)"' BENCH_scaling.json
 
@@ -14,6 +16,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 shift || true
+out_file="${BENCH_OUT:-$repo_root/BENCH_scaling.json}"
 
 if [[ ! -d "$build_dir" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
@@ -22,8 +25,8 @@ cmake --build "$build_dir" --target bench_scaling -j"$(nproc)"
 
 "$build_dir/bench_scaling" \
   --benchmark_format=console \
-  --benchmark_out="$repo_root/BENCH_scaling.json" \
+  --benchmark_out="$out_file" \
   --benchmark_out_format=json \
   "$@"
 
-echo "wrote $repo_root/BENCH_scaling.json"
+echo "wrote $out_file"

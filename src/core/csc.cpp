@@ -14,46 +14,23 @@ namespace sitm {
 
 namespace {
 
-/// Bitmask of the enabled non-input events of a state: 2 bits per signal,
-/// signals 0..31 in `lo`, 32..63 in `hi`.  128 bits cover the full 64-signal
-/// range of a StateGraph — the earlier single-word mask aliased signals 32
-/// apart and could silently miss conflicts on wide specifications.
-struct OutputMask {
-  std::uint64_t lo = 0, hi = 0;
-  bool operator==(const OutputMask&) const = default;
-};
-
-OutputMask output_event_mask(const StateGraph& sg, StateId s,
-                             const std::vector<char>& noninput) {
-  OutputMask m;
-  for (const auto& e : sg.succs(s)) {
-    if (!noninput[e.event.signal]) continue;
-    const std::uint64_t bit =
-        std::uint64_t{1}
-        << (2 * (e.event.signal & 31) + (e.event.rising ? 1 : 0));
-    if (e.event.signal < 32)
-      m.lo |= bit;
-    else
-      m.hi |= bit;
-  }
-  return m;
-}
-
-std::vector<char> noninput_flags(const StateGraph& sg) {
-  std::vector<char> noninput(sg.num_signals());
-  for (int i = 0; i < sg.num_signals(); ++i)
-    noninput[i] = is_noninput(sg.signal(i).kind);
-  return noninput;
-}
+/// Bitmask of the enabled non-input events of a state, in the
+/// StateGraph::enabled_mask event-id layout (2 bits per signal, 128 bits
+/// cover the full 64-signal range — an earlier single-word mask aliased
+/// signals 32 apart and could silently miss conflicts on wide specs).
+using OutputMask = std::array<std::uint64_t, 2>;
 
 /// One pass over all states caching each state's output-event mask; the
 /// conflict scan then compares cached words instead of re-walking adjacency
-/// lists per state pair.
+/// lists per state pair.  Each mask is one AND of the per-state enabled
+/// bitmap against the graph's non-input event mask.
 std::vector<OutputMask> output_event_masks(const StateGraph& sg) {
-  const std::vector<char> noninput = noninput_flags(sg);
+  const OutputMask ni = sg.noninput_event_mask();
   std::vector<OutputMask> masks(sg.num_states());
-  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s)
-    masks[s] = output_event_mask(sg, s, noninput);
+  for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+    const auto& m = sg.enabled_mask(s);
+    masks[s] = OutputMask{m[0] & ni[0], m[1] & ni[1]};
+  }
   return masks;
 }
 
@@ -108,21 +85,44 @@ ConflictInfo csc_conflicts(const StateGraph& sg) {
 int conflicts_after_insertion(
     const StateGraph& next, const InsertionCopies& copies,
     const std::vector<std::vector<StateId>>& multi_classes,
-    const std::vector<char>& noninput) {
+    const OutputMask& ni_next) {
   std::vector<OutputMask> masks;
-  std::vector<StateId> members;
   int pairs = 0;
   for (const auto& cls : multi_classes) {
     for (const auto* side : {&copies.x0, &copies.x1}) {
-      members.clear();
+      masks.clear();
       for (StateId s : cls) {
         const StateId t = (*side)[static_cast<std::size_t>(s)];
-        if (t != kNoState) members.push_back(t);
+        if (t == kNoState) continue;
+        const auto& m = next.enabled_mask(t);
+        masks.push_back(OutputMask{m[0] & ni_next[0], m[1] & ni_next[1]});
       }
-      if (members.size() < 2) continue;
+      for (std::size_t i = 0; i < masks.size(); ++i)
+        for (std::size_t j = i + 1; j < masks.size(); ++j)
+          if (!(masks[i] == masks[j])) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+/// Same count, computed from the lazy preview instead of a materialized
+/// graph: the surviving class members and their output masks are read off
+/// the copy product directly.  Sides are visited in the same x0-then-x1
+/// order (the count is order-independent, but keep the scans parallel).
+int conflicts_after_preview(
+    const InsertionPreview& preview,
+    const std::vector<std::vector<StateId>>& multi_classes,
+    const OutputMask& ni_next) {
+  std::vector<OutputMask> masks;
+  int pairs = 0;
+  for (const auto& cls : multi_classes) {
+    for (const bool side : {false, true}) {
       masks.clear();
-      for (StateId t : members)
-        masks.push_back(output_event_mask(next, t, noninput));
+      for (StateId s : cls) {
+        if (!preview.copy_reachable(s, side)) continue;
+        const auto m = preview.enabled_mask(s, side);
+        masks.push_back(OutputMask{m[0] & ni_next[0], m[1] & ni_next[1]});
+      }
       for (std::size_t i = 0; i < masks.size(); ++i)
         for (std::size_t j = i + 1; j < masks.size(); ++j)
           if (!(masks[i] == masks[j])) ++pairs;
@@ -256,56 +256,140 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
     };
     std::optional<Best> best;
     const std::string name = fresh_csc_name(sg, name_counter);
-    // Signal kinds of any candidate's post-insertion graph: the old signals
-    // (indices preserved by insert_signal) plus the new internal latch.
-    std::vector<char> noninput_next = noninput_flags(sg);
-    noninput_next.push_back(1);
+    // Non-input event mask of any candidate's post-insertion graph: the old
+    // signals (indices preserved by insert_signal) plus the new internal
+    // latch at signal index num_signals().
+    OutputMask ni_next = sg.noninput_event_mask();
+    if (sg.num_signals() < 64) {
+      const int id = 2 * sg.num_signals();
+      ni_next[id >> 6] |= std::uint64_t{3} << (id & 63);
+    }
 
     // One planner per iteration: every candidate below shares the diamond
     // enumeration, and candidates whose seed regions or propagated latch
     // blocks coincide reuse the grown excitation regions from the memo.
     InsertionPlanner planner(sg);
 
-    for (std::size_t ci = 0; ci < cands.size(); ++ci) {
-      if (ci == stop_if_best_at && best) break;
-      const Candidate& cand = cands[ci];
-      // set/reset seeds: the switching regions of the bounding events.
-      const DynBitset& set_states = region[event_id(cand.e1)];
-      const DynBitset& reset_states = region[event_id(cand.e2)];
+    if (!opts.reference_planner && sg.num_signals() < 64) {
+      // Lazy engine: score every candidate from its plan's copy structure
+      // (InsertionPreview) and defer both graph construction and
+      // verification to the scan's tentative winner.  The committed result
+      // is bit-identical to the eager engine below, which commits the
+      // earliest candidate minimizing (pairs_after, states) among the
+      // filter- and verify-passing ones, subject to its two truncations:
+      // the scan stops once a passing candidate reaches zero pairs, and at
+      // the ranked-prefix boundary once any passing candidate exists.  The
+      // scan reproduces those truncations assuming unverified candidates
+      // pass; a tentative winner failing verification is marked rejected
+      // and the scan resumes — so only verification attempts (in the common
+      // case exactly one per iteration) materialize a graph.
+      struct Scored {
+        std::size_t ci;  ///< index into cands
+        InsertionPlan plan;
+        int pairs;
+        std::size_t states;
+        bool rejected = false;  ///< failed the deferred verification
+      };
+      std::vector<Scored> scored;
+      std::optional<std::size_t> best_at;  // tentative winner in `scored`
+      const auto better = [](const Scored& a, const Scored& b) {
+        return a.pairs < b.pairs || (a.pairs == b.pairs && a.states < b.states);
+      };
+      std::size_t pos = 0;  // next candidate to score
+      const auto scan = [&] {
+        while (pos < cands.size()) {
+          if (pos == stop_if_best_at && best_at) return;
+          const std::size_t ci = pos++;
+          auto plan = planner.plan_state_latch(region[event_id(cands[ci].e1)],
+                                               region[event_id(cands[ci].e2)]);
+          if (!plan) continue;
+          // Useless if it does not split any conflicting code class: some
+          // involved state must differ in the latch value from a conflicting
+          // partner; cheap necessary test: S1 neither contains nor misses
+          // all involved states.
+          const DynBitset involved_in = conflicts.involved & plan->s1;
+          if (involved_in.none() ||
+              involved_in.count() == conflicts.involved.count())
+            continue;
+          ++result.candidates_scored;
+          const InsertionPreview preview(sg, *plan);
+          const int pairs_after = conflicts_after_preview(
+              preview, conflicts.multi_classes, ni_next);
+          if (pairs_after >= conflicts.pairs) continue;
+          scored.push_back(Scored{ci, std::move(*plan), pairs_after,
+                                  preview.num_states()});
+          if (!best_at || better(scored.back(), scored[*best_at]))
+            best_at = scored.size() - 1;
+          if (scored.back().pairs == 0) return;  // best_at is this candidate
+        }
+      };
+      const InsertionVerifier verifier(sg);
+      while (true) {
+        scan();
+        if (!best_at) break;
+        Scored& w = scored[*best_at];
+        StateGraph next = insert_signal(sg, w.plan, name);
+        ++result.graphs_materialized;
+        const DynBitset disturbed = disturbed_signals(sg, w.plan);
+        if (verifier.verify(next, /*require_csc=*/false, &disturbed)) {
+          best = Best{std::move(next), w.pairs,
+                      CscStep{name, cands[w.ci].e1, cands[w.ci].e2,
+                              conflicts.pairs, w.pairs}};
+          break;
+        }
+        w.rejected = true;
+        // Recompute the tentative winner (earliest minimal key among the
+        // surviving scored candidates) and resume the scan: the rejection
+        // may re-open a truncated tail.
+        best_at.reset();
+        for (std::size_t i = 0; i < scored.size(); ++i)
+          if (!scored[i].rejected &&
+              (!best_at || better(scored[i], scored[*best_at])))
+            best_at = i;
+      }
+    } else {
+      // Eager reference engine: plan, materialize and score every surviving
+      // candidate (also the fallback for 64-signal graphs, where the lazy
+      // mask layout has no room for the new signal's events).
+      for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+        if (ci == stop_if_best_at && best) break;
+        const Candidate& cand = cands[ci];
+        // set/reset seeds: the switching regions of the bounding events.
+        const DynBitset& set_states = region[event_id(cand.e1)];
+        const DynBitset& reset_states = region[event_id(cand.e2)];
 
-      auto plan =
-          opts.reference_planner
-              ? plan_state_latch_insertion(sg, set_states, reset_states)
-              : planner.plan_state_latch(set_states, reset_states);
-      if (!plan) continue;
-      // Useless if it does not split any conflicting code class: some
-      // involved state must differ in the latch value from a conflicting
-      // partner; cheap necessary test: S1 neither contains nor misses all
-      // involved states.
-      const DynBitset involved_in = conflicts.involved & plan->s1;
-      if (involved_in.none() ||
-          involved_in.count() == conflicts.involved.count())
-        continue;
+        auto plan =
+            opts.reference_planner
+                ? plan_state_latch_insertion(sg, set_states, reset_states)
+                : planner.plan_state_latch(set_states, reset_states);
+        if (!plan) continue;
+        const DynBitset involved_in = conflicts.involved & plan->s1;
+        if (involved_in.none() ||
+            involved_in.count() == conflicts.involved.count())
+          continue;
 
-      InsertionCopies copies;
-      StateGraph next = insert_signal(sg, *plan, name, &copies);
-      const int pairs_after = conflicts_after_insertion(
-          next, copies, conflicts.multi_classes, noninput_next);
-      if (pairs_after >= conflicts.pairs) continue;
-      const bool beats =
-          !best || pairs_after < best->pairs ||
-          (pairs_after == best->pairs &&
-           next.num_states() < best->sg.num_states());
-      if (!beats) continue;
-      // Deferred verification: only a candidate about to become the running
-      // best pays for the SI/SIP re-check — a rejected candidate cannot
-      // influence the chosen insertion either way.
-      if (!verify_insertion(sg, next, /*require_csc=*/false)) continue;
+        ++result.candidates_scored;
+        InsertionCopies copies;
+        StateGraph next = insert_signal(sg, *plan, name, &copies);
+        ++result.graphs_materialized;
+        const int pairs_after = conflicts_after_insertion(
+            next, copies, conflicts.multi_classes, ni_next);
+        if (pairs_after >= conflicts.pairs) continue;
+        const bool beats =
+            !best || pairs_after < best->pairs ||
+            (pairs_after == best->pairs &&
+             next.num_states() < best->sg.num_states());
+        if (!beats) continue;
+        // Deferred verification: only a candidate about to become the
+        // running best pays for the SI/SIP re-check — a rejected candidate
+        // cannot influence the chosen insertion either way.
+        if (!verify_insertion(sg, next, /*require_csc=*/false)) continue;
 
-      best = Best{std::move(next), pairs_after,
-                  CscStep{name, cand.e1, cand.e2, conflicts.pairs,
-                          pairs_after}};
-      if (best->pairs == 0) break;
+        best = Best{std::move(next), pairs_after,
+                    CscStep{name, cand.e1, cand.e2, conflicts.pairs,
+                            pairs_after}};
+        if (best->pairs == 0) break;
+      }
     }
 
     if (!best) {

@@ -56,6 +56,13 @@ struct CscResult {
   int signals_inserted = 0;
   std::shared_ptr<StateGraph> sg;
   std::vector<CscStep> steps;
+  /// Search-work counters, summed over all iterations: candidates that
+  /// passed the static filters and received a conflict/state score, and
+  /// successor graphs actually materialized via insert_signal.  The lazy
+  /// engine keeps graphs_materialized at (roughly) one per inserted signal;
+  /// the reference engine pays one per scored candidate.
+  long candidates_scored = 0;
+  long graphs_materialized = 0;
 };
 
 /// Number of CSC conflict pairs: pairs of states with equal codes enabling

@@ -423,8 +423,108 @@ StateGraph insert_signal(const StateGraph& sg, const InsertionPlan& plan,
   return out;
 }
 
-PropertyResult verify_insertion(const StateGraph& before,
-                                const StateGraph& after, bool require_csc) {
+InsertionPreview::InsertionPreview(const StateGraph& sg,
+                                   const InsertionPlan& plan)
+    : sg_(sg), plan_(plan), reached_(2 * sg.num_states()) {
+  // Reachability over the implicit copy product, mirroring insert_signal's
+  // arc construction: original arcs stay on their x side when they carry,
+  // and the pending x transition moves between the sides of an ER state.
+  std::vector<std::size_t> work;
+  const std::size_t start = pair_index(sg.initial(), plan.initial_value);
+  reached_.set(start);
+  work.push_back(start);
+  while (!work.empty()) {
+    const std::size_t p = work.back();
+    work.pop_back();
+    const auto s = static_cast<StateId>(p >> 1);
+    const bool v = (p & 1) != 0;
+    auto visit = [&](StateId t, bool tv) {
+      const std::size_t q = pair_index(t, tv);
+      if (!reached_.test(q)) {
+        reached_.set(q);
+        work.push_back(q);
+      }
+    };
+    if (!v && plan.er_rise.test(static_cast<std::size_t>(s))) visit(s, true);
+    if (v && plan.er_fall.test(static_cast<std::size_t>(s))) visit(s, false);
+    for (const auto& edge : sg.succs(s))
+      if (arc_carries(s, edge.target, v)) visit(edge.target, v);
+  }
+  num_states_ = reached_.count();
+}
+
+bool InsertionPreview::copy_exists(StateId s, bool value) const {
+  const auto i = static_cast<std::size_t>(s);
+  if (plan_.er_rise.test(i) || plan_.er_fall.test(i)) return true;
+  return plan_.s1.test(i) == value;
+}
+
+bool InsertionPreview::arc_carries(StateId from, StateId to, bool value) const {
+  if (!copy_exists(to, value)) return false;
+  // ER(x+) -> ER(x-) arcs must not skip the pending x+ on the x=0 side, and
+  // symmetrically for the x=1 side (insert_signal's skip_00 / skip_11).
+  const auto u = static_cast<std::size_t>(from);
+  const auto v = static_cast<std::size_t>(to);
+  if (!value) return !(plan_.er_rise.test(u) && plan_.er_fall.test(v));
+  return !(plan_.er_fall.test(u) && plan_.er_rise.test(v));
+}
+
+std::array<std::uint64_t, 2> InsertionPreview::enabled_mask(StateId s,
+                                                            bool value) const {
+  std::array<std::uint64_t, 2> mask = sg_.enabled_mask(s);
+  const auto i = static_cast<std::size_t>(s);
+  const bool in_rise = plan_.er_rise.test(i);
+  const bool in_fall = plan_.er_fall.test(i);
+  if (in_rise || in_fall) {
+    // Only excitation-region copies differ from their source state: they may
+    // drop arcs (partner copy missing on this side, or a cross-region skip)
+    // and they carry the pending x event.  Interior copies keep their full
+    // bitmap — every arc crossing the S0/S1 boundary lands inside an ER (the
+    // input borders seed the regions), so all their arcs carry.
+    for (const auto& edge : sg_.succs(s)) {
+      if (arc_carries(s, edge.target, value)) continue;
+      const int id = 2 * edge.event.signal + (edge.event.rising ? 1 : 0);
+      mask[id >> 6] &= ~(std::uint64_t{1} << (id & 63));
+    }
+    if ((!value && in_rise) || (value && in_fall)) {
+      const int id = 2 * sg_.num_signals() + (value ? 0 : 1);
+      mask[id >> 6] |= std::uint64_t{1} << (id & 63);
+    }
+  }
+  return mask;
+}
+
+DynBitset disturbed_signals(const StateGraph& sg, const InsertionPlan& plan) {
+  DynBitset out(static_cast<std::size_t>(sg.num_signals()));
+  const DynBitset er = plan.er_rise | plan.er_fall;
+  er.for_each([&](std::size_t s) {
+    const bool in_rise = plan.er_rise.test(s);
+    const bool in_fall = plan.er_fall.test(s);
+    for (const auto& edge : sg.succs(static_cast<StateId>(s))) {
+      const auto t = static_cast<std::size_t>(edge.target);
+      const bool er_t = plan.er_rise.test(t) || plan.er_fall.test(t);
+      const bool carries0 = (er_t || !plan.s1.test(t)) &&
+                            !(in_rise && plan.er_fall.test(t));
+      const bool carries1 = (er_t || plan.s1.test(t)) &&
+                            !(in_fall && plan.er_rise.test(t));
+      if (!carries0 || !carries1)
+        out.set(static_cast<std::size_t>(edge.event.signal));
+    }
+  });
+  return out;
+}
+
+InsertionVerifier::InsertionVerifier(const StateGraph& before)
+    : before_(before),
+      persistent_(static_cast<std::size_t>(before.num_signals())) {
+  for (int sig = 0; sig < before.num_signals(); ++sig)
+    persistent_[static_cast<std::size_t>(sig)] =
+        check_persistency(before, {sig}) ? 1 : 0;
+}
+
+PropertyResult InsertionVerifier::verify(const StateGraph& after,
+                                         bool require_csc,
+                                         const DynBitset* disturbed) const {
   if (auto r = check_consistency(after); !r) return r;
   if (auto r = check_speed_independence(after); !r) return r;
   if (require_csc) {
@@ -432,14 +532,22 @@ PropertyResult verify_insertion(const StateGraph& before,
   }
 
   // SIP: every signal whose events were persistent before must stay
-  // persistent (inputs included; outputs are covered by the SI check).
-  for (int sig = 0; sig < before.num_signals(); ++sig) {
-    if (check_persistency(before, {sig})) {
-      if (auto r = check_persistency(after, {sig}); !r)
-        return PropertyResult::fail("SIP violated: " + r.why);
-    }
+  // persistent (inputs included; outputs are covered by the SI check).  A
+  // baseline-persistent signal outside the disturbed set cannot fail — its
+  // enabledness is untouched on every surviving copy — so the re-check is
+  // skipped when the caller supplies the set.
+  for (int sig = 0; sig < before_.num_signals(); ++sig) {
+    if (!persistent_[static_cast<std::size_t>(sig)]) continue;
+    if (disturbed && !disturbed->test(static_cast<std::size_t>(sig))) continue;
+    if (auto r = check_persistency(after, {sig}); !r)
+      return PropertyResult::fail("SIP violated: " + r.why);
   }
   return PropertyResult::pass();
+}
+
+PropertyResult verify_insertion(const StateGraph& before,
+                                const StateGraph& after, bool require_csc) {
+  return InsertionVerifier(before).verify(after, require_csc);
 }
 
 }  // namespace sitm

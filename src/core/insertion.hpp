@@ -179,11 +179,95 @@ StateGraph insert_signal(const StateGraph& sg, const InsertionPlan& plan,
                          const std::string& name,
                          InsertionCopies* copies = nullptr);
 
+/// Lazy view of `insert_signal(sg, plan, ...)`'s result, computed without
+/// materializing the successor graph.  The inserted graph's states are
+/// exactly the surviving (old state, x value) copies, so one reachability
+/// walk over that implicit copy product — copy existence and the x0/x1 arc
+/// carry-over rules are pure functions of the plan's region bitsets —
+/// answers the questions candidate scoring asks: how many states the pruned
+/// graph has, which copies survive, and each surviving copy's enabled-event
+/// bitmap.  This replaces the full graph copy + `prune_unreachable` that
+/// scoring a candidate used to pay; `resolve_csc` scores every candidate
+/// through this view and calls `insert_signal` only for the ones it must
+/// verify (normally just the committed winner).  All answers are
+/// bit-identical to querying the materialized graph and its
+/// `InsertionCopies` (pinned by tests/perf_equiv_test.cpp).
+///
+/// Holds references to `sg` and `plan`; both must outlive the preview.
+class InsertionPreview {
+ public:
+  InsertionPreview(const StateGraph& sg, const InsertionPlan& plan);
+
+  /// State count of the materialized graph after `prune_unreachable`.
+  std::size_t num_states() const { return num_states_; }
+
+  /// Does the x=`value` copy of old state `s` exist and survive pruning?
+  /// Exactly `(value ? copies.x1 : copies.x0)[s] != kNoState`.
+  bool copy_reachable(StateId s, bool value) const {
+    return reached_.test(pair_index(s, value));
+  }
+
+  /// Enabled-event bitmap of the surviving copy (s, value), laid out like
+  /// `StateGraph::enabled_mask` of the successor graph: old signals keep
+  /// their event ids, the new signal's events sit at signal index
+  /// `sg.num_signals()`.  Only meaningful for reachable copies.
+  std::array<std::uint64_t, 2> enabled_mask(StateId s, bool value) const;
+
+ private:
+  static std::size_t pair_index(StateId s, bool value) {
+    return 2 * static_cast<std::size_t>(s) + (value ? 1 : 0);
+  }
+  bool copy_exists(StateId s, bool value) const;
+  bool arc_carries(StateId from, StateId to, bool value) const;
+
+  const StateGraph& sg_;
+  const InsertionPlan& plan_;
+  DynBitset reached_;  ///< surviving (old state, x value) copies
+  std::size_t num_states_ = 0;
+};
+
+/// Signals whose enabled-event sets the insertion can change on some state
+/// copy: the signals of original arcs dropped at excitation-region states
+/// (copy missing on one x side, or an ER(x+)/ER(x-) crossing skipping the
+/// pending transition).  A signal persistent in `sg` and outside this set is
+/// provably still persistent after `insert_signal(sg, plan, ...)`: every
+/// state copy keeps its old enabled set except ER copies, whose only edits
+/// are these drops plus the new x events — so a persistency check of the
+/// inserted graph only needs to revisit the disturbed signals.
+DynBitset disturbed_signals(const StateGraph& sg, const InsertionPlan& plan);
+
+/// Post-insertion verifier with the per-iteration work memoized: which
+/// signals of `before` are persistent is a property of that graph alone, so
+/// one resolve_csc / mapper iteration computes the baseline once and every
+/// candidate's SIP check reuses it instead of re-deriving it per
+/// `verify_insertion` call.  The baseline is computed eagerly in the
+/// constructor and `verify` touches no mutable state, so one verifier can
+/// serve concurrent candidate checks (the mapper verifies inside
+/// parallel_for workers).  Holds a reference to `before`.
+class InsertionVerifier {
+ public:
+  explicit InsertionVerifier(const StateGraph& before);
+
+  /// Exactly `verify_insertion(before, after, require_csc)`, with the
+  /// baseline reused.  When `disturbed` is given (see `disturbed_signals`)
+  /// the SIP re-checks skip baseline-persistent signals outside it; the
+  /// verdict and failure message are unchanged — the skipped checks cannot
+  /// fail.
+  PropertyResult verify(const StateGraph& after, bool require_csc = true,
+                        const DynBitset* disturbed = nullptr) const;
+
+ private:
+  const StateGraph& before_;
+  std::vector<char> persistent_;  ///< per-signal: persistent in `before`?
+};
+
 /// Full post-insertion check: the new SG must be deterministic, commutative,
 /// output-persistent (including x), satisfy CSC, and every signal persistent
 /// in the old SG must remain persistent (the SIP condition).  Pass
 /// `require_csc = false` while resolving CSC conflicts (the input SG itself
-/// violates CSC and intermediate steps may still).
+/// violates CSC and intermediate steps may still).  One-shot shell over a
+/// throwaway InsertionVerifier; callers checking many candidates against one
+/// `before` graph should construct the verifier once and reuse it.
 PropertyResult verify_insertion(const StateGraph& before,
                                 const StateGraph& after,
                                 bool require_csc = true);

@@ -141,6 +141,10 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
     bool committed = false;
     const MapMetrics current_metrics =
         metrics_of(result.syntheses, opts.library);
+    // Shared per-iteration verification state: the persistency baseline of
+    // `sg` is candidate-independent, so every pre-check round below reuses
+    // it (the verifier is const and safe to share across the worker pool).
+    const InsertionVerifier verifier(sg);
 
     int tried_targets = 0;
     for (const auto& target : targets) {
@@ -241,9 +245,11 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
               std::min(candidates.size() - pos, round_width);
           verified.assign(chunk, std::nullopt);
           parallel_for(chunk, eval_threads, [&](std::size_t k) {
-            StateGraph next =
-                insert_signal(sg, candidates[pos + k].plan, name);
-            if (verify_insertion(sg, next)) verified[k] = std::move(next);
+            const InsertionPlan& plan = candidates[pos + k].plan;
+            StateGraph next = insert_signal(sg, plan, name);
+            const DynBitset disturbed = disturbed_signals(sg, plan);
+            if (verifier.verify(next, /*require_csc=*/true, &disturbed))
+              verified[k] = std::move(next);
           });
           const std::size_t first_new = evaluated.size();
           for (std::size_t k = 0; k < chunk && evaluated.size() < cap; ++k) {

@@ -59,6 +59,16 @@ std::vector<int> StateGraph::noninput_signals() const {
   return out;
 }
 
+std::array<std::uint64_t, 2> StateGraph::noninput_event_mask() const {
+  std::array<std::uint64_t, 2> mask{0, 0};
+  for (int sig = 0; sig < num_signals(); ++sig) {
+    if (!is_noninput(signals_[sig].kind)) continue;
+    const int id = event_id(Event{sig, false});
+    mask[id >> 6] |= std::uint64_t{3} << (id & 63);
+  }
+  return mask;
+}
+
 StateId StateGraph::successor(StateId s, Event e) const {
   if (!enabled(s, e)) return kNoState;
   for (const auto& edge : succs_[s])

@@ -86,6 +86,18 @@ class StateGraph {
     const int id = event_id(e);
     return (ev_mask_[s][id >> 6] >> (id & 63)) & 1u;
   }
+  /// Raw per-state bitmap behind `enabled`: 2 bits per signal, indexed by
+  /// the dense event id `2 * signal + rising` (word `id >> 6`, bit
+  /// `id & 63`).  Exposed so conflict scans can mask whole event classes
+  /// word-at-a-time instead of re-walking the adjacency list per query.
+  const std::array<std::uint64_t, 2>& enabled_mask(StateId s) const {
+    return ev_mask_[s];
+  }
+  /// Event bitmap (same layout as `enabled_mask`) with both polarity bits
+  /// set for every non-input signal; `enabled_mask(s) & noninput_event_mask()`
+  /// is the state's output-event mask.
+  std::array<std::uint64_t, 2> noninput_event_mask() const;
+
   /// Successor of `s` under event `e`, or kNoState.  (Assumes determinism;
   /// returns the first matching arc.)
   StateId successor(StateId s, Event e) const;

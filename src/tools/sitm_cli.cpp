@@ -3,13 +3,13 @@
 //   sitm info   <file.g|file.sg>           specification statistics & checks
 //   sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] [--eqn out.eqn]
 //               [--threads N] [--map-threads N] [--map-prune]
-//               [--stop-after STAGE] [--skip STAGE] [--json report.json]
-//                                          staged flow: CSC-resolve + map
+//               [--csc-top-k N] [--stop-after STAGE] [--skip STAGE]
+//               [--json report.json]        staged flow: CSC-resolve + map
 //   sitm verify <file> [--threads N] [--json report.json]
 //                                          synthesize + gate-level SI check
 //   sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]
-//               [--map-threads N] [--map-prune] [--stop-after STAGE]
-//               [--skip STAGE] [--json report.json]
+//               [--map-threads N] [--map-prune] [--csc-top-k N]
+//               [--stop-after STAGE] [--skip STAGE] [--json report.json]
 //                                          full flow over a spec corpus
 //   sitm bench  <name|list>                dump a suite benchmark as .g
 //
@@ -47,12 +47,13 @@ int usage() {
       "  sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] "
       "[--eqn out.eqn]\n"
       "              [--threads N] [--map-threads N] [--map-prune] "
-      "[--stop-after STAGE] [--skip STAGE]\n"
-      "              [--json out.json]\n"
+      "[--csc-top-k N]\n"
+      "              [--stop-after STAGE] [--skip STAGE] [--json out.json]\n"
       "  sitm verify <file> [--threads N] [--json out.json]\n"
       "  sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]\n"
-      "              [--map-threads N] [--map-prune] [--stop-after STAGE] "
-      "[--skip STAGE] [--json out.json]\n"
+      "              [--map-threads N] [--map-prune] [--csc-top-k N] "
+      "[--stop-after STAGE]\n"
+      "              [--skip STAGE] [--json out.json]\n"
       "  sitm bench  <name|list>\n"
       "stages: load reachability properties csc synth decomp map verify "
       "emit\n");
@@ -100,6 +101,13 @@ struct FlowArgs {
       // Stop the map stage's insert/verify pre-check once a committable
       // candidate exists (may commit a different, equally valid divisor).
       flow.mapper.prune_pre_checks = true;
+    } else if (arg == "--csc-top-k") {
+      // Rank the csc stage's candidate latches by conflict-splitting score
+      // and evaluate only the best K before falling back to the full scan
+      // (may commit a different, equally valid latch; 0 = exhaustive).
+      int k = 0;
+      if (!parse_int_arg(next(), 0, &k)) return false;
+      flow.csc.rank_top_k = static_cast<std::size_t>(k);
     } else if (arg == "--stop-after") {
       const char* v = next();
       if (!v) return false;

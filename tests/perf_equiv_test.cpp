@@ -764,6 +764,145 @@ TEST(PerfEquiv, ResolveCscSharedPlannerBitIdentical) {
   }
 }
 
+// ----- lazy InsertionPreview / InsertionVerifier vs materialization --------
+
+std::vector<StateGraph> insertion_test_graphs() {
+  std::vector<StateGraph> graphs;
+  for (int segments : {2, 3, 4})
+    graphs.push_back(bench::make_csc_ring(segments).to_state_graph());
+  graphs.push_back(bench::make_csc_diamond_ring(2, 2).to_state_graph());
+  graphs.push_back(bench::make_csc_diamond_ring(3, 3).to_state_graph());
+  graphs.push_back(bench::make_parallelizer(4).to_state_graph());
+  graphs.push_back(bench::make_hazard().to_state_graph());
+  return graphs;
+}
+
+TEST(PerfEquiv, InsertionPreviewMatchesMaterializedGraph) {
+  // Every query the lazy scorer asks — surviving state count, per-copy
+  // reachability, per-copy enabled-event bitmaps — must equal what the
+  // materialized graph and its InsertionCopies answer, for every plan of
+  // every switching-region pair.
+  for (const StateGraph& sg : insertion_test_graphs()) {
+    const std::vector<DynBitset> region = all_switching_regions(sg);
+    std::vector<const DynBitset*> occupied;
+    for (const auto& r : region)
+      if (r.any()) occupied.push_back(&r);
+
+    InsertionPlanner planner(sg);
+    std::size_t checked = 0;
+    for (const DynBitset* r1 : occupied) {
+      for (const DynBitset* r2 : occupied) {
+        if (r1 == r2 || checked >= 200) continue;
+        const auto plan = planner.plan_state_latch(*r1, *r2);
+        if (!plan) continue;
+        ++checked;
+
+        const InsertionPreview preview(sg, *plan);
+        InsertionCopies copies;
+        const StateGraph next = insert_signal(sg, *plan, "zz0", &copies);
+        ASSERT_EQ(preview.num_states(), next.num_states());
+        for (StateId s = 0; s < static_cast<StateId>(sg.num_states()); ++s) {
+          for (const bool side : {false, true}) {
+            const StateId id = side ? copies.x1[static_cast<std::size_t>(s)]
+                                    : copies.x0[static_cast<std::size_t>(s)];
+            ASSERT_EQ(preview.copy_reachable(s, side), id != kNoState)
+                << "state " << s << " side " << side;
+            if (id == kNoState) continue;
+            EXPECT_EQ(preview.enabled_mask(s, side), next.enabled_mask(id))
+                << "state " << s << " side " << side;
+          }
+        }
+      }
+    }
+    EXPECT_GT(checked, 0u);
+  }
+}
+
+TEST(PerfEquiv, InsertionVerifierMatchesFreeVerify) {
+  // The memoized-baseline verifier — with and without the disturbed-signal
+  // restriction — must agree with verify_insertion verdict for verdict and
+  // message for message: a baseline-persistent signal outside the disturbed
+  // set can never fail the after-check, so skipping it is unobservable.
+  for (const StateGraph& sg : insertion_test_graphs()) {
+    const std::vector<DynBitset> region = all_switching_regions(sg);
+    std::vector<const DynBitset*> occupied;
+    for (const auto& r : region)
+      if (r.any()) occupied.push_back(&r);
+
+    InsertionPlanner planner(sg);
+    const InsertionVerifier verifier(sg);
+    std::size_t checked = 0;
+    for (const DynBitset* r1 : occupied) {
+      for (const DynBitset* r2 : occupied) {
+        if (r1 == r2 || checked >= 60) continue;
+        const auto plan = planner.plan_state_latch(*r1, *r2);
+        if (!plan) continue;
+        ++checked;
+
+        const StateGraph next = insert_signal(sg, *plan, "zz0");
+        const DynBitset disturbed = disturbed_signals(sg, *plan);
+        for (const bool require_csc : {false, true}) {
+          const PropertyResult free_r = verify_insertion(sg, next, require_csc);
+          const PropertyResult memo_r = verifier.verify(next, require_csc);
+          const PropertyResult dist_r =
+              verifier.verify(next, require_csc, &disturbed);
+          EXPECT_EQ(free_r.ok, memo_r.ok);
+          EXPECT_EQ(free_r.why, memo_r.why);
+          EXPECT_EQ(free_r.ok, dist_r.ok);
+          EXPECT_EQ(free_r.why, dist_r.why);
+        }
+      }
+    }
+    EXPECT_GT(checked, 0u);
+  }
+}
+
+TEST(PerfEquiv, ResolveCscLazyMatchesReferenceRandomized) {
+  // Randomized option sweeps over the conflicted families: the lazy engine
+  // (copy-map scoring, winner-only materialization, deferred verification)
+  // must be bit-identical to the retained eager reference engine under
+  // every max_candidates truncation and ranked (rank_top_k) prefix.
+  Rng rng(20260808);
+  for (int round = 0; round < 12; ++round) {
+    const StateGraph sg =
+        (round % 2 == 0)
+            ? bench::make_csc_ring(2 + static_cast<int>(rng.below(4)))
+                  .to_state_graph()
+            : bench::make_csc_diamond_ring(2 + static_cast<int>(rng.below(2)),
+                                           2 + static_cast<int>(rng.below(2)))
+                  .to_state_graph();
+    ASSERT_GT(count_csc_conflicts(sg), 0);
+
+    CscOptions opts;
+    const std::size_t cand_choices[] = {16, 48, 256};
+    opts.max_candidates = cand_choices[rng.below(3)];
+    const std::size_t topk_choices[] = {0, 0, 4, 8};
+    opts.rank_top_k = topk_choices[rng.below(4)];
+
+    CscOptions ref = opts;
+    ref.reference_planner = true;
+    const CscResult lazy = resolve_csc(sg, opts);
+    const CscResult eager = resolve_csc(sg, ref);
+    expect_csc_result_identical(lazy, eager);
+
+    // Work accounting: both engines score the same filter-passing
+    // candidates, but only the lazy engine skips materialization for
+    // non-winners.
+    EXPECT_EQ(lazy.candidates_scored, eager.candidates_scored);
+    EXPECT_EQ(eager.graphs_materialized, eager.candidates_scored);
+    EXPECT_LE(lazy.graphs_materialized, eager.graphs_materialized);
+    EXPECT_GE(lazy.graphs_materialized, lazy.signals_inserted);
+
+    // The exhaustive order is additionally pinned against the verbatim
+    // pre-optimization loop, whose verification is *not* deferred — the
+    // deferred-verify path must be unobservable in the result.
+    if (opts.rank_top_k == 0) {
+      expect_csc_result_identical(
+          lazy, reference_resolve_csc(sg, opts.max_candidates));
+    }
+  }
+}
+
 TEST(PerfEquiv, InferInitialCodeMatchesFullTokenGame) {
   for (const Stg& stg : family_instances()) {
     const StateGraph sg = stg.to_state_graph();
