@@ -17,6 +17,7 @@
 #include "flow/flow.hpp"
 #include "sg/regions.hpp"
 #include "stg/stg.hpp"
+#include "util/run_guard.hpp"
 
 namespace {
 
@@ -31,6 +32,26 @@ void BM_Reachability(benchmark::State& state) {
       stg.to_state_graph().num_states());
 }
 BENCHMARK(BM_Reachability)->DenseRange(2, 10, 2);
+
+// RunGuard overhead on the reachability hot loop (last arg: 0 = governed
+// by a guard with generous limits, 1 = ungoverned nullptr path).  The
+// governed loop pays one relaxed fetch_add + compare per discovered state
+// and an amortized clock read every 1024 work units; /0 vs /1 real_time is
+// the whole cost of resource governance on the tightest loop we have.
+void BM_GuardedReachability(benchmark::State& state) {
+  const Stg stg = bench::make_parallelizer(static_cast<int>(state.range(0)));
+  const bool governed = state.range(1) == 0;
+  for (auto _ : state) {
+    RunGuard guard;
+    guard.set_work_budget(std::uint64_t{1} << 40);
+    guard.set_deadline_ms(3.6e6);  // one hour: never trips, always armed
+    benchmark::DoNotOptimize(
+        stg.to_state_graph(Stg::kDefaultMaxStates, governed ? &guard : nullptr));
+  }
+  state.counters["states"] =
+      static_cast<double>(stg.to_state_graph().num_states());
+}
+BENCHMARK(BM_GuardedReachability)->Args({8, 0})->Args({8, 1});
 
 void BM_SynthesizeAll(benchmark::State& state) {
   const StateGraph sg =

@@ -8,6 +8,7 @@
 #include "sg/properties.hpp"
 #include "sg/regions.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/flat_map.hpp"
 
 namespace sitm {
@@ -154,7 +155,8 @@ CscAnalysis analyze_csc(const StateGraph& sg) {
   return out;
 }
 
-CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
+CscResult resolve_csc(const StateGraph& input, const CscOptions& opts,
+                      const RunGuard* guard) {
   CscResult result;
   result.sg = std::make_shared<StateGraph>(input);
   result.sg->prune_unreachable();
@@ -175,6 +177,18 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
     if (result.signals_inserted >= opts.max_insertions) {
       result.failure = "insertion limit reached";
       return result;
+    }
+    // Exhaustion exactly between iterations: report the remaining conflicts
+    // instead of starting a scan whose first poll would throw.
+    if (guard) {
+      if (const GuardStop s = guard->status(); s != GuardStop::kNone) {
+        result.stopped = s;
+        result.failure = std::string("CSC search stopped (") +
+                         guard_stop_name(s) + "): " +
+                         std::to_string(conflicts.pairs) +
+                         " conflict pair(s) remain";
+        return result;
+      }
     }
 
     // Candidate latches bounded by event pairs: one arc pass collects each
@@ -270,6 +284,13 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
     // blocks coincide reuse the grown excitation regions from the memo.
     InsertionPlanner planner(sg);
 
+    // Guard exhaustion mid-scan (also the fault harness's simulated hits):
+    // the scan stops, but a committable candidate already scored in this
+    // iteration is still committed — the degradation path that turns a
+    // budget/deadline trip into a valid-but-suboptimal insertion instead of
+    // a failure.
+    bool exhausted = false;
+
     if (!opts.reference_planner && sg.num_signals() < 64) {
       // Lazy engine: score every candidate from its plan's copy structure
       // (InsertionPreview) and defer both graph construction and
@@ -312,6 +333,8 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
               involved_in.count() == conflicts.involved.count())
             continue;
           ++result.candidates_scored;
+          fault::hit("csc.candidate");
+          guard_charge(guard, 1, "csc.candidate");
           const InsertionPreview preview(sg, *plan);
           const int pairs_after = conflicts_after_preview(
               preview, conflicts.multi_classes, ni_next);
@@ -325,7 +348,14 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
       };
       const InsertionVerifier verifier(sg);
       while (true) {
-        scan();
+        if (!exhausted) {
+          try {
+            scan();
+          } catch (const GuardExhausted& e) {
+            exhausted = true;
+            result.stopped = e.kind();
+          }
+        }
         if (!best_at) break;
         Scored& w = scored[*best_at];
         StateGraph next = insert_signal(sg, w.plan, name);
@@ -351,6 +381,7 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
       // Eager reference engine: plan, materialize and score every surviving
       // candidate (also the fallback for 64-signal graphs, where the lazy
       // mask layout has no room for the new signal's events).
+      try {
       for (std::size_t ci = 0; ci < cands.size(); ++ci) {
         if (ci == stop_if_best_at && best) break;
         const Candidate& cand = cands[ci];
@@ -369,6 +400,8 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
           continue;
 
         ++result.candidates_scored;
+        fault::hit("csc.candidate");
+        guard_charge(guard, 1, "csc.candidate");
         InsertionCopies copies;
         StateGraph next = insert_signal(sg, *plan, name, &copies);
         ++result.graphs_materialized;
@@ -390,16 +423,40 @@ CscResult resolve_csc(const StateGraph& input, const CscOptions& opts) {
                             pairs_after}};
         if (best->pairs == 0) break;
       }
+      } catch (const GuardExhausted& e) {
+        exhausted = true;
+        result.stopped = e.kind();
+      }
     }
 
     if (!best) {
-      result.failure = "no event-bounded latch reduces the CSC conflicts";
+      result.failure =
+          exhausted ? std::string("CSC search stopped (") +
+                          guard_stop_name(result.stopped) +
+                          ") before any committable candidate was scored"
+                    : "no event-bounded latch reduces the CSC conflicts";
       return result;
     }
     result.sg = std::make_shared<StateGraph>(std::move(best->sg));
     result.steps.push_back(best->step);
     ++result.signals_inserted;
     ++name_counter;
+    if (exhausted) {
+      // Best-so-far committed under exhaustion: stop searching and report
+      // the final status of the committed graph.
+      result.degraded = true;
+      const int remaining = count_csc_conflicts(*result.sg);
+      if (remaining == 0) {
+        result.resolved = true;
+      } else {
+        result.failure = std::string("CSC search stopped (") +
+                         guard_stop_name(result.stopped) + ") after " +
+                         std::to_string(result.signals_inserted) +
+                         " insertion(s): " + std::to_string(remaining) +
+                         " conflict pair(s) remain";
+      }
+      return result;
+    }
   }
 }
 

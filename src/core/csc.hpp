@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sg/state_graph.hpp"
+#include "util/run_guard.hpp"
 
 namespace sitm {
 
@@ -63,6 +64,13 @@ struct CscResult {
   /// the reference engine pays one per scored candidate.
   long candidates_scored = 0;
   long graphs_materialized = 0;
+  /// Guard exhaustion that ended the search early (kNone = ran to
+  /// completion).  When an iteration's scan was cut short but a committable
+  /// candidate had already been scored, that best-so-far latch is committed
+  /// and `degraded` is set: the result is a valid (possibly suboptimal)
+  /// insertion, and `resolved` still reflects whether zero conflicts remain.
+  GuardStop stopped = GuardStop::kNone;
+  bool degraded = false;
 };
 
 /// Number of CSC conflict pairs: pairs of states with equal codes enabling
@@ -83,7 +91,12 @@ struct CscAnalysis {
 };
 CscAnalysis analyze_csc(const StateGraph& sg);
 
-/// Insert state signals until the SG satisfies CSC (or give up).
-CscResult resolve_csc(const StateGraph& sg, const CscOptions& opts = {});
+/// Insert state signals until the SG satisfies CSC (or give up).  `guard`
+/// (optional) bounds the search: one work unit per candidate scored; on
+/// exhaustion the best already-scored candidate of the current iteration is
+/// committed (graceful degradation) and the search stops with
+/// `stopped`/`degraded` recorded instead of throwing.
+CscResult resolve_csc(const StateGraph& sg, const CscOptions& opts = {},
+                      const RunGuard* guard = nullptr);
 
 }  // namespace sitm

@@ -6,6 +6,7 @@
 #include "mlogic/division.hpp"
 #include "sg/properties.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/text.hpp"
 
@@ -91,7 +92,8 @@ Netlist MapResult::build_netlist(const McOptions& mc) const {
   return synthesize_all(*sg, mc);
 }
 
-MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
+MapResult technology_map(const StateGraph& input, const MapperOptions& opts,
+                         const RunGuard* guard) {
   MapResult result;
   result.sg = std::make_shared<StateGraph>(input);
   result.sg->prune_unreachable();
@@ -102,9 +104,11 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
   int name_counter = 0;
 
   while (true) {
+    guard_check(guard, "map.iteration");
+    fault::hit("map.round");
     StateGraph& sg = *result.sg;
     result.syntheses.clear();
-    synthesize_all(sg, opts.mc, &result.syntheses);
+    synthesize_all(sg, opts.mc, &result.syntheses, guard);
 
     // Shared per-iteration planning state: one diamond enumeration and one
     // region memo serve every divisor candidate of every target below, and
@@ -243,6 +247,7 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
           if (opts.prune_pre_checks && best_idx) break;
           const std::size_t chunk =
               std::min(candidates.size() - pos, round_width);
+          guard_charge(guard, chunk, "map.candidates");
           verified.assign(chunk, std::nullopt);
           parallel_for(chunk, eval_threads, [&](std::size_t k) {
             const InsertionPlan& plan = candidates[pos + k].plan;
@@ -262,7 +267,7 @@ MapResult technology_map(const StateGraph& input, const MapperOptions& opts) {
           parallel_for(evaluated.size() - first_new, eval_threads,
                        [&](std::size_t k) {
                          Evaluated& ev = evaluated[first_new + k];
-                         synthesize_all(ev.sg, opts.mc, &ev.syntheses);
+                         synthesize_all(ev.sg, opts.mc, &ev.syntheses, guard);
                          ev.metrics = metrics_of(ev.syntheses, opts.library);
                          ev.states = ev.sg.num_states();
                        });

@@ -118,6 +118,11 @@ struct MapResult {
 
 /// Map `sg` onto the library in `opts`.  The input SG must satisfy the flow
 /// preconditions (consistency, speed-independence, CSC); throws otherwise.
-MapResult technology_map(const StateGraph& sg, const MapperOptions& opts = {});
+/// `guard` (optional) bounds the search — polled at every iteration, per
+/// pre-check round and per resynthesis — and throws GuardExhausted on
+/// exhaustion (no partial MapResult: an uncommitted decomposition has no
+/// netlist worth degrading to).
+MapResult technology_map(const StateGraph& sg, const MapperOptions& opts = {},
+                         const RunGuard* guard = nullptr);
 
 }  // namespace sitm

@@ -4,6 +4,7 @@
 
 #include "boolf/minimize.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 
 namespace sitm {
@@ -130,9 +131,12 @@ namespace {
 /// per-slot results as the serial loop.
 std::vector<SignalSynthesis> synthesize_signals(const StateGraph& sg,
                                                 const std::vector<int>& sigs,
-                                                const McOptions& opts) {
+                                                const McOptions& opts,
+                                                const RunGuard* guard) {
   std::vector<SignalSynthesis> out(sigs.size());
   parallel_for(sigs.size(), opts.threads, [&](std::size_t i) {
+    fault::hit("synth.signal");
+    guard_charge(guard, 1, "synth.signal");
     out[i] = synthesize_signal(sg, sigs[i], opts);
   });
   return out;
@@ -141,11 +145,12 @@ std::vector<SignalSynthesis> synthesize_signals(const StateGraph& sg,
 }  // namespace
 
 Netlist synthesize_all(const StateGraph& sg, const McOptions& opts,
-                       std::vector<SignalSynthesis>* out_syntheses) {
+                       std::vector<SignalSynthesis>* out_syntheses,
+                       const RunGuard* guard) {
   Netlist netlist(&sg);
   if (out_syntheses) out_syntheses->clear();
   const std::vector<int> sigs = sg.noninput_signals();
-  for (SignalSynthesis& synth : synthesize_signals(sg, sigs, opts)) {
+  for (SignalSynthesis& synth : synthesize_signals(sg, sigs, opts, guard)) {
     SignalImpl impl;
     impl.signal = synth.signal;
     impl.combinational = synth.combinational;

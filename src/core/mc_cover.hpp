@@ -22,6 +22,7 @@
 #include "netlist/netlist.hpp"
 #include "sg/regions.hpp"
 #include "sg/state_graph.hpp"
+#include "util/run_guard.hpp"
 
 namespace sitm {
 
@@ -84,9 +85,13 @@ SignalSynthesis synthesize_signal(const StateGraph& sg, int sig,
                                   const McOptions& opts = {});
 
 /// Synthesize every non-input signal into a standard-C netlist.
-/// `out_syntheses` (optional) receives the per-signal details.
+/// `out_syntheses` (optional) receives the per-signal details.  `guard`
+/// (optional) is polled once per signal by every worker; exhaustion stops
+/// further signal claims and rethrows GuardExhausted on the calling thread
+/// (parallel_for's error contract), at any thread count.
 Netlist synthesize_all(const StateGraph& sg, const McOptions& opts = {},
-                       std::vector<SignalSynthesis>* out_syntheses = nullptr);
+                       std::vector<SignalSynthesis>* out_syntheses = nullptr,
+                       const RunGuard* guard = nullptr);
 
 /// Worker count synthesize_all will actually use for `num_signals` work
 /// items: McOptions::threads with 0 resolved to the hardware concurrency,

@@ -8,6 +8,14 @@
 // additionally parallelize over signals (McOptions::threads).  Results are
 // returned in input order regardless of scheduling, and a failing spec is
 // recorded in its report instead of aborting the batch.
+//
+// Resource governance: with `item_deadline_ms` set, every item runs under
+// its own RunGuard with that deadline, and a watchdog thread additionally
+// cancels items that overrun it (covering code that blocks without polling
+// the guard); either way the overdue item is marked failure_kind
+// `deadline`.  `retry_degraded` re-runs a budget/deadline-failed item once
+// under the kDegrade policy (fresh deadline window) so a partial result can
+// still be salvaged.
 
 #include <functional>
 #include <string>
@@ -22,6 +30,14 @@ struct BatchOptions {
   FlowOptions flow;
   /// Concurrent flows.  1 = serial, 0 = one per hardware core.
   int threads = 1;
+  /// Per-item wall-clock deadline; 0 = none.  Applied through a per-item
+  /// RunGuard (cooperative) and the watchdog (cancel from outside), so an
+  /// overdue item ends as failure_kind `deadline` instead of stalling the
+  /// batch indefinitely.
+  double item_deadline_ms = 0;
+  /// Retry a budget/deadline/cancelled item once with FlowOptions::on_budget
+  /// = kDegrade and a fresh deadline window.
+  bool retry_degraded = false;
   /// Called after each spec finishes (from worker threads, serialized by
   /// the driver) — progress reporting for the CLI.
   std::function<void(const FlowReport&)> on_report;
@@ -30,6 +46,7 @@ struct BatchOptions {
 struct BatchItem {
   std::string label;  ///< file path or suite benchmark name
   FlowReport report;
+  int attempts = 1;  ///< 2 when retry_degraded re-ran the item
 };
 
 struct BatchResult {

@@ -8,6 +8,7 @@
 #include "sg/properties.hpp"
 #include "sg/sg_io.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 
 namespace sitm {
@@ -17,6 +18,18 @@ namespace {
 constexpr const char* kStageNames[kNumStages] = {
     "load", "reachability", "properties", "csc", "synth",
     "decomp", "map", "verify", "emit",
+};
+
+/// Static fault-injection site per stage entry (fault::hit wants a stable
+/// const char*).
+constexpr const char* kStageFaultSites[kNumStages] = {
+    "flow.load", "flow.reachability", "flow.properties",
+    "flow.csc",  "flow.synth",        "flow.decomp",
+    "flow.map",  "flow.verify",       "flow.emit",
+};
+
+constexpr const char* kFailureKindNames[] = {
+    "none", "parse", "spec", "budget", "deadline", "cancelled", "internal",
 };
 
 double ms_since(std::chrono::steady_clock::time_point start) {
@@ -37,6 +50,28 @@ std::optional<Stage> parse_stage(std::string_view name) {
   return std::nullopt;
 }
 
+const char* failure_kind_name(FailureKind kind) {
+  return kFailureKindNames[static_cast<int>(kind)];
+}
+
+FailureKind failure_kind_of(GuardStop stop) {
+  switch (stop) {
+    case GuardStop::kBudget: return FailureKind::kBudget;
+    case GuardStop::kDeadline: return FailureKind::kDeadline;
+    case GuardStop::kCancelled: return FailureKind::kCancelled;
+    case GuardStop::kNone: break;
+  }
+  return FailureKind::kNone;
+}
+
+FailureKind classify_exception(const std::exception& e) {
+  if (const auto* g = dynamic_cast<const GuardExhausted*>(&e))
+    return failure_kind_of(g->kind());
+  if (dynamic_cast<const ParseError*>(&e)) return FailureKind::kParse;
+  if (dynamic_cast<const Error*>(&e)) return FailureKind::kSpec;
+  return FailureKind::kInternal;
+}
+
 std::optional<double> StageReport::metric_value(std::string_view name) const {
   for (const auto& [k, v] : metrics)
     if (k == name) return v;
@@ -50,6 +85,8 @@ Json StageReport::to_json() const {
   j.set("skipped", skipped);
   j.set("ok", ok);
   if (!failure.empty()) j.set("failure", failure);
+  if (failure_kind != FailureKind::kNone)
+    j.set("failure_kind", failure_kind_name(failure_kind));
   j.set("wall_ms", wall_ms);
   if (!metrics.empty()) {
     Json m = Json::object();
@@ -75,6 +112,8 @@ Json FlowReport::to_json() const {
   j.set("ok", ok);
   if (failed_stage) j.set("failed_stage", stage_name(*failed_stage));
   if (!failure.empty()) j.set("failure", failure);
+  if (failure_kind != FailureKind::kNone)
+    j.set("failure_kind", failure_kind_name(failure_kind));
   j.set("total_ms", total_ms);
   Json s = Json::array();
   for (const auto& sr : stages) s.push(sr.to_json());
@@ -137,6 +176,17 @@ FlowReport Flow::run_stages(Stage first) {
     report.stages[i].stage = static_cast<Stage>(i);
   const auto flow_start = std::chrono::steady_clock::now();
 
+  // Resource governance: adopt the caller's guard or make one when the
+  // options ask for a deadline/budget.  Ungoverned runs keep guard null and
+  // every hot loop's guard_charge stays a no-op.
+  ctx_.guard = opts_.guard;
+  if (!ctx_.guard && (opts_.deadline_ms > 0 || opts_.work_budget > 0))
+    ctx_.guard = std::make_shared<RunGuard>();
+  if (ctx_.guard) {
+    if (opts_.deadline_ms > 0) ctx_.guard->set_deadline_ms(opts_.deadline_ms);
+    if (opts_.work_budget > 0) ctx_.guard->set_work_budget(opts_.work_budget);
+  }
+
   for (const Stage s : kAllStages) {
     StageReport& sr = report.stage(s);
     if (static_cast<int>(s) < static_cast<int>(first)) {
@@ -155,6 +205,11 @@ FlowReport Flow::run_stages(Stage first) {
       const auto start = std::chrono::steady_clock::now();
       sr.ran = true;
       try {
+        // Cheap per-stage checkpoint: an expired deadline or a cancel
+        // request stops the flow at the next stage boundary even when the
+        // stage bodies between here and there do no governed work.
+        guard_check(ctx_.guard.get(), kStageFaultSites[static_cast<int>(s)]);
+        fault::hit(kStageFaultSites[static_cast<int>(s)]);
         switch (s) {
           case Stage::kLoad: stage_load(sr); break;
           case Stage::kReachability: stage_reachability(sr); break;
@@ -169,6 +224,15 @@ FlowReport Flow::run_stages(Stage first) {
       } catch (const std::exception& e) {
         sr.ok = false;
         if (sr.failure.empty()) sr.failure = e.what();
+        if (sr.failure_kind == FailureKind::kNone)
+          sr.failure_kind = classify_exception(e);
+      } catch (...) {
+        // A non-standard exception must not escape the stage runner: the
+        // batch driver and the CLI rely on every failure becoming a report.
+        sr.ok = false;
+        if (sr.failure.empty())
+          sr.failure = "non-standard exception escaped the stage body";
+        sr.failure_kind = FailureKind::kInternal;
       }
       sr.wall_ms = ms_since(start);
     }
@@ -177,6 +241,7 @@ FlowReport Flow::run_stages(Stage first) {
         report.ok = false;
         report.failed_stage = s;
         report.failure = sr.failure;
+        report.failure_kind = sr.failure_kind;
       }
       // A failed verification still leaves a netlist worth inspecting: the
       // emit stage runs so requested output files are written anyway (the
@@ -207,13 +272,16 @@ void Flow::stage_reachability(StageReport& sr) {
     ctx_.spec.sg.reset();
     sr.note("engine", "explicit state graph input");
   } else if (ctx_.spec.stg) {
-    ctx_.sg =
-        std::make_shared<const StateGraph>(ctx_.spec.stg->to_state_graph());
+    const std::size_t max_states =
+        opts_.max_states > 0 ? opts_.max_states : Stg::kDefaultMaxStates;
+    ctx_.sg = std::make_shared<const StateGraph>(
+        ctx_.spec.stg->to_state_graph(max_states, ctx_.guard.get()));
     sr.note("engine", "token game");
     if (opts_.symbolic_check) {
       ctx_.bdd = std::make_unique<BddManager>(
           static_cast<int>(ctx_.spec.stg->num_places()));
-      ctx_.symbolic = symbolic_reachability(*ctx_.spec.stg, *ctx_.bdd);
+      ctx_.symbolic =
+          symbolic_reachability(*ctx_.spec.stg, *ctx_.bdd, ctx_.guard.get());
       sr.metric("symbolic_markings", ctx_.symbolic->num_markings);
       sr.metric("symbolic_iterations", ctx_.symbolic->iterations);
       sr.metric("symbolic_bdd_size",
@@ -272,9 +340,37 @@ void Flow::stage_csc(StageReport& sr) {
     sr.note("result", "already satisfied");
     return;
   }
-  CscResult resolved = resolve_csc(*ctx_.sg, opts_.csc);
+  CscResult resolved = resolve_csc(*ctx_.sg, opts_.csc, ctx_.guard.get());
+  if (resolved.stopped != GuardStop::kNone) {
+    // The search hit a budget/deadline/cancel.  Under kFail that is a hard,
+    // typed stage failure; under kDegrade the engine's best-so-far commit
+    // stands — ok when it resolved every conflict (warning notes the early
+    // stop), failed when conflicts remain (downstream synthesis would
+    // produce a wrong circuit, so there is nothing safe to continue with).
+    const bool strict = opts_.on_budget == FlowOptions::OnBudget::kFail;
+    if (strict || !resolved.resolved) {
+      sr.ok = false;
+      sr.failure = resolved.failure.empty()
+                       ? std::string("CSC search stopped (") +
+                             guard_stop_name(resolved.stopped) + ")"
+                       : resolved.failure;
+      sr.failure_kind = failure_kind_of(resolved.stopped);
+      sr.metric("signals_inserted", resolved.signals_inserted);
+      if (resolved.sg) {
+        // Keep the partial resolution inspectable (the flow stops here).
+        ctx_.sg = resolved.sg;
+        ctx_.csc = std::move(resolved);
+      }
+      return;
+    }
+    sr.warnings.push_back(
+        std::string("CSC search stopped early (") +
+        guard_stop_name(resolved.stopped) +
+        "); committed insertions resolve all conflicts");
+  }
   if (!resolved.resolved)
     throw Error("CSC resolution failed: " + resolved.failure);
+  if (resolved.degraded) sr.note("result", "degraded (best-so-far commit)");
   for (const auto& step : resolved.steps)
     sr.note(step.new_signal,
             "set after " + resolved.sg->event_string(step.set_after) +
@@ -304,8 +400,8 @@ void Flow::stage_synth(StageReport& sr) {
   sr.metric("threads",
             resolve_synthesis_threads(opts_.mc,
                                       ctx_.sg->noninput_signals().size()));
-  ctx_.synth_netlist =
-      synthesize_all(*ctx_.synth_sg, opts_.mc, &ctx_.syntheses);
+  ctx_.synth_netlist = synthesize_all(*ctx_.synth_sg, opts_.mc,
+                                      &ctx_.syntheses, ctx_.guard.get());
   ctx_.netlist = ctx_.synth_netlist;
   sr.metric("signals", static_cast<double>(ctx_.syntheses.size()));
   sr.metric("literals", ctx_.synth_netlist->total_literals());
@@ -333,7 +429,7 @@ void Flow::stage_map(StageReport& sr) {
   sr.metric("threads",
             resolve_worker_threads(opts_.mapper.threads,
                                    std::numeric_limits<std::size_t>::max()));
-  MapResult result = technology_map(*ctx_.sg, opts_.mapper);
+  MapResult result = technology_map(*ctx_.sg, opts_.mapper, ctx_.guard.get());
   sr.metric("candidates_planned",
             static_cast<double>(result.candidates_planned));
   sr.metric("resyntheses", static_cast<double>(result.resyntheses));
@@ -359,10 +455,27 @@ void Flow::stage_verify(StageReport& sr) {
     sr.warnings.push_back("no netlist to verify (synth and map skipped)");
     return;
   }
-  ctx_.verify =
-      verify_speed_independence(*ctx_.netlist, opts_.verify_max_states);
+  ctx_.verify = verify_speed_independence(*ctx_.netlist,
+                                          opts_.verify_max_states,
+                                          ctx_.guard.get());
   sr.metric("composite_states", static_cast<double>(ctx_.verify->num_states));
   sr.metric("speed_independent", ctx_.verify->ok ? 1 : 0);
+  if (ctx_.verify->unverified) {
+    // The exploration ran out of budget/deadline without finding a
+    // violation: that is "unverified", not "hazard found".  kDegrade keeps
+    // the stage ok with a warning; kFail makes it a typed stage failure
+    // (still followed by emit, like any verify failure).
+    sr.metric("unverified", 1);
+    if (opts_.on_budget == FlowOptions::OnBudget::kDegrade) {
+      sr.note("result", "unverified");
+      sr.warnings.push_back("unverified: " + ctx_.verify->why);
+      return;
+    }
+    sr.ok = false;
+    sr.failure = ctx_.verify->why;
+    sr.failure_kind = failure_kind_of(ctx_.verify->stopped);
+    return;
+  }
   if (!ctx_.verify->ok) throw Error(ctx_.verify->why);
 }
 

@@ -60,6 +60,7 @@
 #include "stg/load.hpp"
 #include "stg/symbolic.hpp"
 #include "util/json.hpp"
+#include "util/run_guard.hpp"
 
 namespace sitm {
 
@@ -85,6 +86,35 @@ const char* stage_name(Stage stage);
 /// Inverse of stage_name; nullopt for unknown names.
 std::optional<Stage> parse_stage(std::string_view name);
 
+/// Structured failure taxonomy of a stage (and of the flow): what *kind* of
+/// thing went wrong, machine-readable next to the human `failure` string.
+///   parse      malformed input (.g/.sg reader errors)
+///   spec       the specification violates a flow precondition, or a stage
+///              produced a genuine negative verdict (hazard, unresolvable
+///              CSC, not implementable)
+///   budget     a state/node/work budget was exhausted
+///   deadline   the wall-clock deadline passed
+///   cancelled  cancellation was requested (batch watchdog, serve front-end)
+///   internal   anything else — unexpected std::exception, allocation
+///              failure, or a non-standard exception
+enum class FailureKind : int {
+  kNone = 0,
+  kParse,
+  kSpec,
+  kBudget,
+  kDeadline,
+  kCancelled,
+  kInternal,
+};
+const char* failure_kind_name(FailureKind kind);
+
+/// Classify a caught exception into the taxonomy (GuardExhausted by its
+/// stop kind, ParseError, sitm::Error, everything else internal).  Shared
+/// by the stage runner and the batch driver.
+FailureKind classify_exception(const std::exception& e);
+/// Map a guard stop to its failure kind (kBudget/kDeadline/kCancelled).
+FailureKind failure_kind_of(GuardStop stop);
+
 struct FlowOptions {
   /// Input format for run_file / run_string (kAuto sniffs).
   SpecFormat format = SpecFormat::kAuto;
@@ -96,6 +126,32 @@ struct FlowOptions {
   /// Run the symbolic (BDD) reachability cross-check in the reachability
   /// stage (.g specs only); mismatches are reported as warnings.
   bool symbolic_check = false;
+
+  // ---- resource governance -------------------------------------------
+  /// Wall-clock deadline for the whole run; 0 = none.  Enforced
+  /// cooperatively through the run's RunGuard (polled in every stage's hot
+  /// loop), so an expired deadline surfaces as a `deadline` stage failure,
+  /// never a hung process.
+  double deadline_ms = 0;
+  /// Reachability state budget; 0 = the Stg default (kDefaultMaxStates).
+  /// Exceeding it fails the reachability stage with failure_kind `budget`.
+  std::size_t max_states = 0;
+  /// Work-unit budget across the whole run (states discovered, candidates
+  /// scored, composite states explored, ...); 0 = none.
+  std::uint64_t work_budget = 0;
+  /// What a budget/deadline trip means for stages that can degrade:
+  ///   kFail     the stage fails (failure_kind budget/deadline/cancelled)
+  ///   kDegrade  csc commits its best-so-far insertions with a warning;
+  ///             verify reports "unverified" with a warning and stays ok.
+  /// Stages with nothing partial to offer (reachability, synth, map) fail
+  /// under both policies.
+  enum class OnBudget { kFail, kDegrade };
+  OnBudget on_budget = OnBudget::kFail;
+  /// Externally owned guard (e.g. the batch driver's per-item guard, or a
+  /// front-end holding the cancellation handle).  When null the flow makes
+  /// its own from deadline_ms / work_budget; when set, those fields are
+  /// applied onto it.
+  std::shared_ptr<RunGuard> guard;
 
   /// Stop after this stage completes (inclusive); later stages are left
   /// un-run and the report stays ok.
@@ -125,6 +181,8 @@ struct StageReport {
   bool skipped = false;  ///< skipped by options or missing inputs
   bool ok = true;        ///< false only when this stage failed the flow
   std::string failure;   ///< nonempty when !ok
+  /// Taxonomy of the failure; kNone while ok.
+  FailureKind failure_kind = FailureKind::kNone;
   double wall_ms = 0;
   /// Named numeric results in emission order (state counts, literal
   /// counts, ...).
@@ -151,6 +209,8 @@ struct FlowReport {
   bool ok = true;
   std::optional<Stage> failed_stage;
   std::string failure;  ///< failure of the failed stage
+  /// Taxonomy of `failure` (the failed stage's kind); kNone while ok.
+  FailureKind failure_kind = FailureKind::kNone;
   double total_ms = 0;
   std::array<StageReport, kNumStages> stages;
 
@@ -172,6 +232,11 @@ struct FlowContext {
   /// reachability stage moves spec.sg into `sg` below (no second copy).
   Spec spec;
   std::string name = "spec";
+
+  /// The run's resource guard (FlowOptions::guard, or flow-owned when the
+  /// options only set deadline_ms / work_budget).  Null when the run is
+  /// ungoverned; stages pass `guard.get()` down their hot loops.
+  std::shared_ptr<RunGuard> guard;
 
   /// Current SG revision: reachability result, then the CSC-resolved SG,
   /// then the mapped SG.  Earlier revisions stay alive through `csc` /

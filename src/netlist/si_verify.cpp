@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/flat_map.hpp"
 #include "util/text.hpp"
 
@@ -37,7 +38,8 @@ struct CompositeHash {
 }  // namespace
 
 SiVerifyResult verify_speed_independence(const Netlist& netlist,
-                                         std::size_t max_states) {
+                                         std::size_t max_states,
+                                         const RunGuard* guard) {
   const StateGraph& sg = netlist.sg();
   const auto& impls = netlist.impls();
 
@@ -122,10 +124,25 @@ SiVerifyResult verify_speed_independence(const Netlist& netlist,
     result.ok = false;
     result.why = std::move(why);
   };
+  auto stop_unverified = [&](GuardStop stop, std::string why) {
+    result.ok = false;
+    result.unverified = true;
+    result.stopped = stop;
+    result.why = std::move(why);
+  };
 
   while (!queue.empty() && result.ok) {
     const Composite c = queue.back();
     queue.pop_back();
+    // A guard trip (or an injected one) is "ran out of budget", not "found
+    // a hazard": surface it as an unverified result, never an exception.
+    try {
+      fault::hit("verify.state");
+      guard_charge(guard, 1, "verify.state");
+    } catch (const GuardExhausted& e) {
+      stop_unverified(e.kind(), e.what());
+      break;
+    }
 
     // Successors: fire every excited element in turn.
     std::vector<std::pair<const Element*, Composite>> successors;
@@ -181,8 +198,14 @@ SiVerifyResult verify_speed_independence(const Netlist& netlist,
       if (!result.ok) break;
       auto [slot, inserted] = seen.emplace(next, 0);
       if (inserted) {
-        if (seen.size() > max_states)
-          throw Error("si_verify: composite state explosion");
+        if (seen.size() > max_states) {
+          stop_unverified(
+              GuardStop::kBudget,
+              strfmt("composite state budget exhausted: %zu states of "
+                     "limit %zu explored without a violation",
+                     seen.size(), max_states));
+          break;
+        }
         queue.push_back(next);
       }
     }

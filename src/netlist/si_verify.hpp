@@ -21,20 +21,32 @@
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "util/run_guard.hpp"
 
 namespace sitm {
 
 struct SiVerifyResult {
-  bool ok = true;
+  bool ok = true;           ///< proven speed-independent (full exploration)
   std::string why;          ///< human-readable failure description
   std::size_t num_states = 0;  ///< distinct composite states discovered
+  /// The exploration ended early (state budget, deadline or cancellation)
+  /// without finding a violation: the netlist is *unverified*, not failed.
+  /// `ok` is false so no caller mistakes it for a proof; `stopped` says
+  /// which limit ended it.
+  bool unverified = false;
+  GuardStop stopped = GuardStop::kNone;
 
   explicit operator bool() const { return ok; }
 };
 
 /// Verify `netlist` against its SG.  `max_states` bounds the composite
-/// exploration (throws sitm::Error if exceeded).
+/// exploration; exceeding it — or exhausting `guard`, polled once per
+/// composite state — returns an `unverified` result instead of throwing, so
+/// callers can degrade gracefully (report "unverified" rather than
+/// "failed").  Hazards and conformance violations still report ok=false
+/// with unverified=false.
 SiVerifyResult verify_speed_independence(const Netlist& netlist,
-                                         std::size_t max_states = 1u << 20);
+                                         std::size_t max_states = 1u << 20,
+                                         const RunGuard* guard = nullptr);
 
 }  // namespace sitm

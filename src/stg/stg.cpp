@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/flat_map.hpp"
 #include "util/text.hpp"
 
@@ -297,7 +298,7 @@ struct GameResult {
 template <typename Fire, typename StopFn>
 GameResult<Fire> token_game(const Stg& stg, const Fire& fire,
                             std::size_t max_states, bool record_arcs,
-                            StopFn&& stop) {
+                            StopFn&& stop, const RunGuard* guard = nullptr) {
   GameResult<Fire> result{{}, {}, InitialValues(stg)};
   auto& nodes = result.nodes;
   using Node = typename GameResult<Fire>::Node;
@@ -327,7 +328,10 @@ GameResult<Fire> token_game(const Stg& stg, const Fire& fire,
           ids.emplace(next, static_cast<StateId>(nodes.size()));
       if (inserted) {
         if (nodes.size() >= max_states)
-          throw Error("Stg: state explosion beyond max_states");
+          throw GuardExhausted(GuardStop::kBudget, "stg.to_state_graph",
+                               nodes.size(), max_states);
+        fault::hit("stg.to_state_graph");
+        guard_charge(guard, 1, "stg.to_state_graph");
         nodes.push_back(Node{std::move(next), next_mask});
         queue.push_back(*slot);
       } else if (nodes[*slot].mask != next_mask) {
@@ -360,13 +364,16 @@ constexpr auto kNeverStop = [](const InitialValues&) { return false; };
 
 }  // namespace
 
-StateGraph Stg::to_state_graph(std::size_t max_states) const {
+StateGraph Stg::to_state_graph(std::size_t max_states,
+                               const RunGuard* guard) const {
   if (initial_marking_.empty()) throw Error("Stg: empty initial marking");
   if (places_.size() <= 64)
     return emit_state_graph(
-        *this, token_game(*this, SmallFire(*this), max_states, true, kNeverStop));
+        *this, token_game(*this, SmallFire(*this), max_states, true, kNeverStop,
+                          guard));
   return emit_state_graph(
-      *this, token_game(*this, WideFire(*this), max_states, true, kNeverStop));
+      *this,
+      token_game(*this, WideFire(*this), max_states, true, kNeverStop, guard));
 }
 
 StateCode Stg::infer_initial_code() const {

@@ -10,6 +10,7 @@
 #include "sg/signal.hpp"
 #include "sg/state_graph.hpp"
 #include "util/flat_map.hpp"
+#include "util/run_guard.hpp"
 
 namespace sitm {
 
@@ -79,9 +80,13 @@ class Stg {
   /// Initial signal values are inferred from the first transition polarity
   /// seen for each signal on any path (a+ first => initial 0), which is
   /// well-defined exactly when the STG has a consistent labeling; violations
-  /// throw.  Throws if more than `max_states` states are produced or the net
-  /// is not 1-safe.
-  StateGraph to_state_graph(std::size_t max_states = kDefaultMaxStates) const;
+  /// throw.  Not-1-safe nets throw sitm::Error; exceeding `max_states`
+  /// throws GuardExhausted(kBudget) carrying the state count reached and the
+  /// limit, so the flow can report it structurally (failure_kind "budget").
+  /// `guard` (optional) is polled once per discovered state: a deadline or
+  /// cancellation ends the exploration with the corresponding GuardExhausted.
+  StateGraph to_state_graph(std::size_t max_states = kDefaultMaxStates,
+                            const RunGuard* guard = nullptr) const;
 
   /// Infer initial signal values (bit per signal) without building the SG.
   /// Runs a token game that stops as soon as every signal's value is known,

@@ -11,7 +11,8 @@ SymbolicReachability symbolic_reachability(const Stg& stg) {
   return symbolic_reachability(stg, mgr);
 }
 
-SymbolicReachability symbolic_reachability(const Stg& stg, BddManager& mgr) {
+SymbolicReachability symbolic_reachability(const Stg& stg, BddManager& mgr,
+                                           const RunGuard* guard) {
   const int places = static_cast<int>(stg.num_places());
   if (places > 64) throw Error("symbolic_reachability: more than 64 places");
   if (mgr.num_vars() != places)
@@ -83,6 +84,7 @@ SymbolicReachability symbolic_reachability(const Stg& stg, BddManager& mgr) {
     changed = false;
     ++out.iterations;
     for (const auto& img : images) {
+      guard_charge(guard, 1, "stg.symbolic");
       const BddRef firable = mgr.bdd_and(reached, img.enabled);
       if (firable == mgr.bdd_false()) continue;
       const BddRef successors =

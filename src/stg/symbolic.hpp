@@ -12,6 +12,7 @@
 
 #include "bdd/bdd.hpp"
 #include "stg/stg.hpp"
+#include "util/run_guard.hpp"
 
 namespace sitm {
 
@@ -35,7 +36,10 @@ SymbolicReachability symbolic_reachability(const Stg& stg);
 /// As above, but on a caller-owned manager (must be sized to exactly one
 /// variable per place).  The flow context owns the manager so the reachable
 /// set and the unique/ITE tables stay alive for later inspection instead of
-/// being torn down when the stage returns.
-SymbolicReachability symbolic_reachability(const Stg& stg, BddManager& mgr);
+/// being torn down when the stage returns.  `guard` (optional) is polled
+/// once per transition image of the fixed-point sweep, so a deadline or
+/// budget bounds the symbolic engine too (GuardExhausted on exhaustion).
+SymbolicReachability symbolic_reachability(const Stg& stg, BddManager& mgr,
+                                           const RunGuard* guard = nullptr);
 
 }  // namespace sitm

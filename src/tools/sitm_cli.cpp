@@ -4,12 +4,15 @@
 //   sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] [--eqn out.eqn]
 //               [--threads N] [--map-threads N] [--map-prune]
 //               [--csc-top-k N] [--stop-after STAGE] [--skip STAGE]
+//               [--deadline-ms N] [--max-states N] [--work-budget N]
+//               [--on-budget fail|degrade]
 //               [--json report.json]        staged flow: CSC-resolve + map
 //   sitm verify <file> [--threads N] [--json report.json]
 //                                          synthesize + gate-level SI check
 //   sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]
 //               [--map-threads N] [--map-prune] [--csc-top-k N]
 //               [--stop-after STAGE] [--skip STAGE] [--json report.json]
+//               [--item-deadline-ms N] [--retry-degraded]
 //                                          full flow over a spec corpus
 //   sitm bench  <name|list>                dump a suite benchmark as .g
 //
@@ -18,7 +21,15 @@
 // map, verify, emit, each with a structured report serializable to JSON.
 // Files ending in ".sg" are parsed as State Graphs, everything else as
 // astg ".g" Signal Transition Graphs.
+//
+// Resource governance: --deadline-ms/--max-states/--work-budget bound a run
+// (stage failures carry a failure_kind of deadline/budget in the report),
+// --on-budget picks between hard failure and graceful degradation (csc
+// commits best-so-far, verify reports "unverified"), and the SITM_FAULTS
+// environment variable arms the deterministic fault-injection harness
+// (util/fault.hpp) for robustness testing.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -34,6 +45,7 @@
 #include "stg/load.hpp"
 #include "stg/symbolic.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -49,11 +61,14 @@ int usage() {
       "              [--threads N] [--map-threads N] [--map-prune] "
       "[--csc-top-k N]\n"
       "              [--stop-after STAGE] [--skip STAGE] [--json out.json]\n"
+      "              [--deadline-ms N] [--max-states N] [--work-budget N]\n"
+      "              [--on-budget fail|degrade]\n"
       "  sitm verify <file> [--threads N] [--json out.json]\n"
       "  sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]\n"
       "              [--map-threads N] [--map-prune] [--csc-top-k N] "
       "[--stop-after STAGE]\n"
-      "              [--skip STAGE] [--json out.json]\n"
+      "              [--skip STAGE] [--json out.json] [--item-deadline-ms N]\n"
+      "              [--retry-degraded]\n"
       "  sitm bench  <name|list>\n"
       "stages: load reachability properties csc synth decomp map verify "
       "emit\n");
@@ -70,6 +85,27 @@ bool parse_int_arg(const char* s, int min, int* out) {
   return true;
 }
 
+/// Wide counter argument for budgets (state counts, work units) that can
+/// legitimately exceed parse_int_arg's cap.
+bool parse_count_arg(const char* s, std::uint64_t min, std::uint64_t* out) {
+  if (!s || !*s) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (*end != '\0' || v < min) return false;
+  *out = v;
+  return true;
+}
+
+/// Positive (possibly fractional) millisecond value for deadline flags.
+bool parse_ms_arg(const char* s, double* out) {
+  if (!s || !*s) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (*end != '\0' || !(v > 0)) return false;
+  *out = v;
+  return true;
+}
+
 /// Shared flow-control flags (--stop-after/--skip/--json/...).  Returns
 /// false on a malformed argument.
 struct FlowArgs {
@@ -77,6 +113,8 @@ struct FlowArgs {
   std::string json_path;
   int batch_threads = 1;
   bool synth_threads_set = false;
+  double item_deadline_ms = 0;
+  bool retry_degraded = false;
 
   bool consume(int argc, char** argv, int& i, std::string* path) {
     const std::string arg = argv[i];
@@ -126,6 +164,35 @@ struct FlowArgs {
         return false;
       }
       flow.set_skip(*stage);
+    } else if (arg == "--deadline-ms") {
+      // Wall-clock deadline for the run, enforced cooperatively through the
+      // flow's RunGuard; an overrun fails with failure_kind "deadline".
+      if (!parse_ms_arg(next(), &flow.deadline_ms)) return false;
+    } else if (arg == "--max-states") {
+      // Reachability state budget (failure_kind "budget" when exceeded).
+      std::uint64_t n = 0;
+      if (!parse_count_arg(next(), 1, &n)) return false;
+      flow.max_states = static_cast<std::size_t>(n);
+    } else if (arg == "--work-budget") {
+      // Total work-unit budget across the run's governed loops.
+      if (!parse_count_arg(next(), 1, &flow.work_budget)) return false;
+    } else if (arg == "--on-budget") {
+      const char* v = next();
+      if (!v) return false;
+      const std::string policy = v;
+      if (policy == "fail") {
+        flow.on_budget = FlowOptions::OnBudget::kFail;
+      } else if (policy == "degrade") {
+        flow.on_budget = FlowOptions::OnBudget::kDegrade;
+      } else {
+        std::fprintf(stderr, "--on-budget wants fail|degrade, got %s\n", v);
+        return false;
+      }
+    } else if (arg == "--item-deadline-ms") {
+      // Batch: per-item deadline plus the overdue-item watchdog.
+      if (!parse_ms_arg(next(), &item_deadline_ms)) return false;
+    } else if (arg == "--retry-degraded") {
+      retry_degraded = true;
     } else if (arg == "--json") {
       const char* v = next();
       if (!v) return false;
@@ -170,7 +237,9 @@ void print_report(const FlowReport& report) {
     std::printf(" %8.2f ms ", sr.wall_ms);
     for (const auto& [k, v] : sr.metrics)
       std::printf(" %s=%g", k.c_str(), v);
-    if (!sr.ok) std::printf("  FAILED: %s", sr.failure.c_str());
+    if (!sr.ok)
+      std::printf("  FAILED (%s): %s", failure_kind_name(sr.failure_kind),
+                  sr.failure.c_str());
     std::printf("\n");
     for (const auto& w : sr.warnings)
       std::printf("               warning: %s\n", w.c_str());
@@ -290,6 +359,8 @@ int cmd_batch(int argc, char** argv) {
   BatchOptions opts;
   opts.flow = args.flow;
   opts.threads = args.batch_threads;
+  opts.item_deadline_ms = args.item_deadline_ms;
+  opts.retry_degraded = args.retry_degraded;
   opts.on_report = [](const FlowReport& r) {
     std::printf("%-20s %s  %8.1f ms%s%s\n", r.name.c_str(),
                 r.ok ? "ok    " : "FAILED", r.total_ms,
@@ -322,6 +393,9 @@ int cmd_bench(const std::string& which) {
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
+  // Arm the deterministic fault harness from SITM_FAULTS (no-op when
+  // unset); a malformed spec is a usage error, not something to run past.
+  if (!sitm::fault::configure_from_env()) return 2;
   const std::string cmd = argv[1];
   try {
     if (cmd == "info") return cmd_info(argv[2]);

@@ -1,0 +1,202 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/run_guard.hpp"
+
+namespace sitm::fault {
+
+namespace detail {
+std::atomic<int> armed_sites{0};
+}  // namespace detail
+
+namespace {
+
+struct Site {
+  std::string name;
+  Action action = Action::kError;
+  std::uint64_t nth = 1;
+  std::uint64_t arg = 0;
+  std::uint64_t hits = 0;
+  bool fired = false;
+};
+
+// Few sites, cold path only (the inline fast path already bailed when
+// nothing is armed): a mutex-protected vector is plenty.
+std::mutex g_mutex;
+std::vector<Site>& sites() {
+  static std::vector<Site> s;
+  return s;
+}
+
+/// Throwing actions only; kSleep is handled by hit_slow before calling.
+[[noreturn]] void fire(Action action, const char* site, std::uint64_t hits) {
+  switch (action) {
+    case Action::kError:
+      throw Error(std::string("injected fault at ") + site);
+    case Action::kInternal:
+      throw std::logic_error(std::string("injected internal fault at ") + site);
+    case Action::kNonStd:
+      throw NonStdFault{site};
+    case Action::kBadAlloc:
+      throw std::bad_alloc();
+    case Action::kBudget:
+      throw GuardExhausted(GuardStop::kBudget, site, hits, hits);
+    case Action::kDeadline:
+      throw GuardExhausted(GuardStop::kDeadline, site, hits, 0);
+    case Action::kCancel:
+      throw GuardExhausted(GuardStop::kCancelled, site, hits, 0);
+    case Action::kSleep:
+      break;  // unreachable; the final throw keeps [[noreturn]] honest
+  }
+  throw Error(std::string("injected fault at ") + site);
+}
+
+bool parse_action(const std::string& token, Action* action) {
+  if (token == "error") *action = Action::kError;
+  else if (token == "internal") *action = Action::kInternal;
+  else if (token == "nonstd") *action = Action::kNonStd;
+  else if (token == "badalloc") *action = Action::kBadAlloc;
+  else if (token == "budget") *action = Action::kBudget;
+  else if (token == "deadline") *action = Action::kDeadline;
+  else if (token == "cancel") *action = Action::kCancel;
+  else if (token == "sleep") *action = Action::kSleep;
+  else return false;
+  return true;
+}
+
+bool parse_u64(const std::string& token, std::uint64_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void arm(const std::string& site, Action action, std::uint64_t nth,
+         std::uint64_t arg) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  sites().push_back(Site{site, action, nth == 0 ? 1 : nth, arg, 0, false});
+  detail::armed_sites.store(static_cast<int>(sites().size()),
+                            std::memory_order_relaxed);
+}
+
+bool configure(const std::string& spec, std::string* error) {
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    std::uint64_t nth = 1;
+    if (const std::size_t at = entry.rfind('@'); at != std::string::npos) {
+      if (!parse_u64(entry.substr(at + 1), &nth) || nth == 0) {
+        if (error) *error = "bad trigger count in '" + entry + "'";
+        return false;
+      }
+      entry.resize(at);
+    }
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      if (error) *error = "expected site:action in '" + entry + "'";
+      return false;
+    }
+    const std::string site = entry.substr(0, colon);
+    std::string action_token = entry.substr(colon + 1);
+    std::uint64_t arg = 0;
+    if (const std::size_t c2 = action_token.find(':');
+        c2 != std::string::npos) {
+      if (!parse_u64(action_token.substr(c2 + 1), &arg)) {
+        if (error) *error = "bad action argument in '" + entry + "'";
+        return false;
+      }
+      action_token.resize(c2);
+    }
+    Action action;
+    if (!parse_action(action_token, &action)) {
+      if (error) *error = "unknown action '" + action_token + "'";
+      return false;
+    }
+    arm(site, action, nth, arg);
+  }
+  return true;
+}
+
+bool configure_from_env() {
+  const char* spec = std::getenv("SITM_FAULTS");
+  if (!spec || !*spec) return true;
+  std::string error;
+  if (!configure(spec, &error)) {
+    std::fprintf(stderr, "SITM_FAULTS: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+void clear() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  sites().clear();
+  detail::armed_sites.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hit_count(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::uint64_t hits = 0;
+  for (const Site& s : sites())
+    if (s.name == site) hits = std::max(hits, s.hits);
+  return hits;
+}
+
+bool fired(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  for (const Site& s : sites())
+    if (s.name == site && s.fired) return true;
+  return false;
+}
+
+namespace detail {
+
+void hit_slow(const char* site) {
+  Action action{};
+  std::uint64_t hits = 0, sleep_ms = 0;
+  bool fire_now = false;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    for (Site& s : sites()) {
+      if (s.name != site) continue;
+      ++s.hits;
+      if (!s.fired && s.hits == s.nth) {
+        s.fired = true;
+        fire_now = true;
+        action = s.action;
+        hits = s.hits;
+        sleep_ms = s.arg;
+        break;  // one action per hit; later sites keep their own counters
+      }
+    }
+  }
+  if (!fire_now) return;
+  if (action == Action::kSleep) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    return;
+  }
+  fire(action, site, hits);
+}
+
+}  // namespace detail
+
+}  // namespace sitm::fault

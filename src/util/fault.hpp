@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic fault injection for the Flow stack.
+//
+// Library code marks interesting failure points with `fault::hit("site")`
+// (stage entries, hot-loop bodies, the batch driver's item dispatch).  In
+// production nothing is armed and a hit is one relaxed atomic load; tests
+// and the CLI arm sites to fire a chosen action on the N-th hit:
+//
+//   error     throw sitm::Error            -> failure_kind "spec"
+//   internal  throw std::logic_error       -> failure_kind "internal"
+//   nonstd    throw fault::NonStdFault     -> catch (...) paths, "internal"
+//   badalloc  throw std::bad_alloc         -> failure_kind "internal"
+//   budget    throw GuardExhausted(budget) -> failure_kind "budget"
+//   deadline  throw GuardExhausted(deadline)  (a simulated deadline hit)
+//   cancel    throw GuardExhausted(cancelled)
+//   sleep:MS  block the calling thread MS milliseconds, then continue
+//             (drives the batch watchdog / overdue-item paths for real)
+//
+// Triggers are deterministic: each armed site counts its hits and fires
+// exactly once, on hit number `nth` (1-based).  Arming is programmatic
+// (`fault::arm`) or via a spec string — also read from the SITM_FAULTS
+// environment variable by the CLI:
+//
+//   SITM_FAULTS="flow.csc:budget@3,flow.synth:sleep:50"
+//
+// i.e. comma-separated `site:action[:arg][@nth]` entries.  Everything is
+// thread-safe; `fault::clear()` resets the harness between tests.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace sitm::fault {
+
+enum class Action : int {
+  kError = 0,
+  kInternal,
+  kNonStd,
+  kBadAlloc,
+  kBudget,
+  kDeadline,
+  kCancel,
+  kSleep,
+};
+
+/// Deliberately NOT derived from std::exception: exercises the catch (...)
+/// arms that keep a non-standard exception from taking down a batch.
+struct NonStdFault {
+  const char* site = "";
+};
+
+/// Arm `site` to fire `action` on its `nth` hit (1-based; fires once).
+/// `arg` is the sleep duration in ms for kSleep, ignored otherwise.
+void arm(const std::string& site, Action action, std::uint64_t nth = 1,
+         std::uint64_t arg = 0);
+
+/// Parse and arm a comma-separated `site:action[:arg][@nth]` spec.  Returns
+/// false (arming nothing further) on a malformed entry; *error names it.
+bool configure(const std::string& spec, std::string* error = nullptr);
+
+/// Arm from the SITM_FAULTS environment variable (no-op when unset).
+/// Returns false on a malformed spec, with the message on stderr.
+bool configure_from_env();
+
+/// Disarm everything and reset all hit counters.
+void clear();
+
+/// Hits recorded at `site` so far (armed sites only; 0 otherwise).
+std::uint64_t hit_count(const std::string& site);
+/// True once the armed action at `site` has fired.
+bool fired(const std::string& site);
+
+namespace detail {
+extern std::atomic<int> armed_sites;
+void hit_slow(const char* site);
+}  // namespace detail
+
+/// The instrumentation point.  Fast path: one relaxed load.
+inline void hit(const char* site) {
+  if (detail::armed_sites.load(std::memory_order_relaxed) == 0) return;
+  detail::hit_slow(site);
+}
+
+}  // namespace sitm::fault

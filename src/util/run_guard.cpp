@@ -1,0 +1,95 @@
+#include "util/run_guard.hpp"
+
+namespace sitm {
+
+namespace {
+
+std::string exhausted_message(GuardStop kind, const std::string& site,
+                              std::uint64_t count, std::uint64_t limit) {
+  std::string msg = std::string(guard_stop_name(kind));
+  switch (kind) {
+    case GuardStop::kBudget:
+      msg += " exhausted at " + site + ": " + std::to_string(count) +
+             " work units of limit " + std::to_string(limit);
+      break;
+    case GuardStop::kDeadline:
+      msg += " exceeded at " + site + " after " + std::to_string(count) +
+             " work units";
+      break;
+    case GuardStop::kCancelled:
+      msg = "cancelled at " + site;
+      break;
+    case GuardStop::kNone:
+      msg += " at " + site;  // not reachable from RunGuard itself
+      break;
+  }
+  return msg;
+}
+
+}  // namespace
+
+const char* guard_stop_name(GuardStop stop) {
+  switch (stop) {
+    case GuardStop::kNone: return "none";
+    case GuardStop::kBudget: return "budget";
+    case GuardStop::kDeadline: return "deadline";
+    case GuardStop::kCancelled: return "cancelled";
+  }
+  return "none";
+}
+
+GuardExhausted::GuardExhausted(GuardStop kind, std::string site,
+                               std::uint64_t count, std::uint64_t limit)
+    : Error(exhausted_message(kind, site, count, limit)),
+      kind_(kind),
+      site_(std::move(site)),
+      count_(count),
+      limit_(limit) {}
+
+std::int64_t RunGuard::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RunGuard::set_deadline_ms(double ms) {
+  if (ms <= 0) {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  deadline_ns_.store(now_ns() + static_cast<std::int64_t>(ms * 1e6),
+                     std::memory_order_relaxed);
+}
+
+void RunGuard::raise(GuardStop kind, const char* site, std::uint64_t count,
+                     std::uint64_t limit) const {
+  throw GuardExhausted(kind, site, count, limit);
+}
+
+void RunGuard::check_clock(const char* site, std::uint64_t count) const {
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && now_ns() >= deadline)
+    raise(GuardStop::kDeadline, site, count, 0);
+}
+
+void RunGuard::check(const char* site) const {
+  const std::uint64_t count = work();
+  const std::uint64_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && count > budget)
+    raise(GuardStop::kBudget, site, count, budget);
+  if (cancelled_.load(std::memory_order_relaxed))
+    raise(GuardStop::kCancelled, site, count, 0);
+  check_clock(site, count);
+}
+
+GuardStop RunGuard::status() const {
+  const std::uint64_t count = work();
+  const std::uint64_t budget = budget_.load(std::memory_order_relaxed);
+  if (budget != 0 && count > budget) return GuardStop::kBudget;
+  if (cancelled_.load(std::memory_order_relaxed)) return GuardStop::kCancelled;
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && now_ns() >= deadline) return GuardStop::kDeadline;
+  return GuardStop::kNone;
+}
+
+}  // namespace sitm
