@@ -9,6 +9,8 @@
 
 #include "benchlib/generators.hpp"
 #include "boolf/bitslice.hpp"
+#include "serve/server.hpp"
+#include "stg/g_io.hpp"
 #include "boolf/minimize.hpp"
 #include "core/csc.hpp"
 #include "core/insertion.hpp"
@@ -420,6 +422,50 @@ void BM_ResolveCscTopK(benchmark::State& state) {
   state.counters["inserted"] = inserted;
 }
 BENCHMARK(BM_ResolveCscTopK)->DenseRange(2, 6, 1)->Unit(benchmark::kMillisecond);
+
+// The serve front-end's hot path.  Both benchmarks push the same request
+// line through ServeEngine::handle_line; Cold clears the cache every
+// iteration so each request re-runs the full flow (parse, key, schedule,
+// synthesize, serialize), Warm primes once and then answers from the
+// content-addressed cache (parse, key, lookup, splice).  Cold/Warm is the
+// serve speedup; run_bench.sh gates it at >= 10x via compare_bench.py
+// --speedup, and tests/serve_test.cpp pins the warm bytes to the cold ones.
+std::string serve_request_line() {
+  Json req = Json::object();
+  req.set("id", Json("bench"));
+  req.set("spec", Json(write_g_string(bench::make_parallelizer(4),
+                                      "parallelizer")));
+  return req.dump(0);
+}
+
+void BM_ServeCold(benchmark::State& state) {
+  serve::ServeOptions so;
+  so.flow.mapper.library.max_literals = 2;
+  serve::ServeEngine engine(so);
+  const std::string line = serve_request_line();
+  for (auto _ : state) {
+    state.PauseTiming();
+    engine.cache().clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.handle_line(line));
+  }
+  state.counters["misses"] =
+      static_cast<double>(engine.cache().stats().misses);
+}
+BENCHMARK(BM_ServeCold)->Unit(benchmark::kMillisecond);
+
+void BM_ServeWarm(benchmark::State& state) {
+  serve::ServeOptions so;
+  so.flow.mapper.library.max_literals = 2;
+  serve::ServeEngine engine(so);
+  const std::string line = serve_request_line();
+  engine.handle_line(line);  // prime the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.handle_line(line));
+  }
+  state.counters["hits"] = static_cast<double>(engine.cache().stats().hits);
+}
+BENCHMARK(BM_ServeWarm)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

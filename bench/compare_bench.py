@@ -4,6 +4,7 @@
 Usage:
     compare_bench.py BASELINE.json FRESH.json [--threshold PCT]
                      [--names REGEX] [--no-normalize]
+                     [--speedup SLOW/FAST:MIN ...]
 
 Both files are google-benchmark JSON reports (bench/run_bench.sh output).
 Benchmarks are matched by name; a benchmark regresses when its fresh
@@ -19,6 +20,12 @@ ratio is divided by the median ratio over all matched benchmarks, so a
 uniform machine-speed shift cancels and only benchmarks that regressed
 *relative to the rest of the suite* fail.  --no-normalize gates on raw
 ratios instead (sensible when both runs come from the same machine).
+
+--speedup SLOW/FAST:MIN additionally asserts that, within the FRESH run
+alone, benchmark SLOW takes at least MIN times as long as benchmark FAST
+(e.g. --speedup BM_ServeCold/BM_ServeWarm:10 pins the serve cache's warm
+speedup).  Intra-run ratios compare two numbers from the same machine, so
+no normalization applies.
 
 Exit status: 0 = no gated regression, 1 = regression, 2 = usage/input error.
 """
@@ -74,6 +81,9 @@ def main():
                         help="regex of benchmark names to gate")
     parser.add_argument("--no-normalize", action="store_true",
                         help="gate raw ratios (same-machine runs)")
+    parser.add_argument("--speedup", action="append", default=[],
+                        metavar="SLOW/FAST:MIN",
+                        help="assert fresh[SLOW] >= MIN * fresh[FAST]")
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -112,6 +122,25 @@ def main():
               f"ratio {ratios[name]:.3f}x, relative {rel:.3f}x [{verdict}]")
     for name in missing:
         print(f"  {name}: missing from fresh run (not gated)")
+
+    for spec in args.speedup:
+        match = re.fullmatch(r"([^/]+)/([^:]+):([0-9.]+)", spec)
+        if not match:
+            print(f"compare_bench: bad --speedup spec '{spec}' "
+                  "(want SLOW/FAST:MIN)", file=sys.stderr)
+            sys.exit(2)
+        slow, fast, minimum = match.group(1), match.group(2), float(
+            match.group(3))
+        if slow not in fresh or fast not in fresh:
+            print(f"compare_bench: --speedup names missing from fresh run: "
+                  f"{spec}", file=sys.stderr)
+            sys.exit(2)
+        ratio = fresh[slow] / fresh[fast]
+        verdict = "ok" if ratio >= minimum else "TOO SLOW"
+        print(f"  speedup {slow}/{fast}: {ratio:.1f}x "
+              f"(minimum {minimum:g}x) [{verdict}]")
+        if ratio < minimum:
+            failed.append(f"{slow}/{fast}")
 
     if failed:
         print(f"perf gate FAILED: {', '.join(failed)}", file=sys.stderr)

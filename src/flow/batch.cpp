@@ -11,6 +11,7 @@
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
+#include "util/scheduler.hpp"
 
 namespace sitm {
 
@@ -20,6 +21,8 @@ Json BatchResult::to_json() const {
   j.set("ok", num_ok);
   j.set("failed", num_failed);
   j.set("total_ms", total_ms);
+  j.set("workers", workers);
+  j.set("steals", steals);
   Json reports = Json::array();
   for (const auto& item : items) {
     Json r = item.report.to_json();
@@ -107,8 +110,12 @@ BatchResult run_pool(std::vector<BatchItem> items, const BatchOptions& opts,
   // Items never throw out of the body: the Flow captures stage errors in
   // the report, and the catch arms here guard the surroundings (suite
   // lookup, fault sites, non-standard exceptions) so one bad item cannot
-  // take down the batch.
-  parallel_for(result.items.size(), opts.threads, [&](std::size_t i) {
+  // take down the batch.  The work-stealing pool keeps workers busy when
+  // item costs are skewed (one huge spec no longer serializes the tail);
+  // each worker writes only slot i, so results are bit-identical to the
+  // serial run at any thread count.
+  result.workers = resolve_worker_threads(opts.threads, result.items.size());
+  parallel_for_jobs(result.items.size(), opts.threads, [&](std::size_t i) {
     ItemWatch& w = watch[i];
     auto attempt = [&](FlowOptions flow_opts) -> FlowReport {
       flow_opts.guard = std::make_shared<RunGuard>();
@@ -167,7 +174,7 @@ BatchResult run_pool(std::vector<BatchItem> items, const BatchOptions& opts,
     }
     result.items[i].report = std::move(report);
     result.items[i].attempts = attempts;
-  });
+  }, &result.steals);
 
   pool_done.store(true, std::memory_order_relaxed);
   if (watchdog.joinable()) watchdog.join();

@@ -1,0 +1,62 @@
+#include "serve/arena.hpp"
+
+namespace sitm::serve {
+
+SlabPool::~SlabPool() { trim(); }
+
+int SlabPool::class_index(std::size_t n) {
+  if (n > kMaxClass) return -1;
+  int idx = 0;
+  std::size_t cap = kMinClass;
+  while (cap < n) {
+    cap <<= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+SlabPool::Block SlabPool::alloc(std::size_t n) {
+  const int idx = class_index(n);
+  if (idx < 0) {
+    // Oversized: exact allocation, never pooled.
+    Block b{new char[n], n};
+    bytes_live_ += n;
+    return b;
+  }
+  const std::size_t cap = class_size(idx);
+  if (static_cast<std::size_t>(idx) < free_.size() &&
+      !free_[static_cast<std::size_t>(idx)].empty()) {
+    Block b{free_[static_cast<std::size_t>(idx)].back(), cap};
+    free_[static_cast<std::size_t>(idx)].pop_back();
+    bytes_pooled_ -= cap;
+    bytes_live_ += cap;
+    return b;
+  }
+  Block b{new char[cap], cap};
+  bytes_live_ += cap;
+  return b;
+}
+
+void SlabPool::release(Block block) {
+  if (!block.data) return;
+  bytes_live_ -= block.size;
+  const int idx = class_index(block.size);
+  if (idx < 0 || class_size(idx) != block.size) {
+    delete[] block.data;  // oversized (or foreign) block: not pooled
+    return;
+  }
+  if (free_.size() <= static_cast<std::size_t>(idx))
+    free_.resize(static_cast<std::size_t>(idx) + 1);
+  free_[static_cast<std::size_t>(idx)].push_back(block.data);
+  bytes_pooled_ += block.size;
+}
+
+void SlabPool::trim() {
+  for (std::size_t idx = 0; idx < free_.size(); ++idx) {
+    for (char* p : free_[idx]) delete[] p;
+    bytes_pooled_ -= free_[idx].size() * class_size(static_cast<int>(idx));
+    free_[idx].clear();
+  }
+}
+
+}  // namespace sitm::serve

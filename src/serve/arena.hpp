@@ -1,0 +1,61 @@
+#pragma once
+// Size-class slab pool for the serve cache's payload blocks.
+//
+// Every cache entry's payload (the serialized result JSON: report +
+// emitted netlists) lives in ONE contiguous block drawn from this pool.
+// Blocks are rounded up to power-of-two size classes; released blocks go
+// onto a per-class freelist and are reused by later insertions instead of
+// round-tripping through the allocator — under eviction churn (the steady
+// state of a byte-budgeted cache) insert/evict pairs allocate nothing.
+// Blocks above the largest class are serviced by plain new[]/delete[] and
+// never pooled (they would pin arbitrary memory).
+//
+// Not thread-safe by itself: each FlowCache shard owns one pool and uses
+// it under the shard lock.  `bytes_live` (handed out) + `bytes_pooled`
+// (parked on freelists) is the pool's total footprint; the cache's byte
+// budget is charged against live block sizes — the *rounded* sizes, so the
+// accounting matches what is actually resident.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace sitm::serve {
+
+class SlabPool {
+ public:
+  struct Block {
+    char* data = nullptr;
+    std::size_t size = 0;  ///< rounded size-class capacity, not the request
+  };
+
+  SlabPool() = default;
+  ~SlabPool();
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  /// A block of capacity >= n (rounded up to the size class).
+  Block alloc(std::size_t n);
+  /// Return a block to its freelist (or the heap when unpooled).
+  void release(Block block);
+  /// Drop every pooled (free) block back to the heap.
+  void trim();
+
+  std::size_t bytes_live() const { return bytes_live_; }
+  std::size_t bytes_pooled() const { return bytes_pooled_; }
+
+  /// Smallest / largest pooled size class.
+  static constexpr std::size_t kMinClass = 64;
+  static constexpr std::size_t kMaxClass = std::size_t{1} << 24;  // 16 MiB
+
+ private:
+  /// Size-class index for n (0 = kMinClass); -1 when n exceeds kMaxClass.
+  static int class_index(std::size_t n);
+  static std::size_t class_size(int idx) { return kMinClass << idx; }
+
+  std::vector<std::vector<char*>> free_;  ///< per-class freelists
+  std::size_t bytes_live_ = 0;
+  std::size_t bytes_pooled_ = 0;
+};
+
+}  // namespace sitm::serve

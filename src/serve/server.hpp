@@ -1,0 +1,135 @@
+#pragma once
+// `sitm serve`: a persistent synthesis service over the Flow engine.
+//
+// Protocol: newline-delimited JSON, one request object per line, one
+// response object per line, responses written in request order per
+// stream.  Two transports share the same engine:
+//   * pipe mode — requests on stdin, responses on stdout (tests, CI, and
+//     anything that can spawn a process);
+//   * unix-socket mode — SOCK_STREAM connections, each served by its own
+//     reader/writer pair, all feeding one scheduler and one cache.
+//
+// Requests:
+//   {"op": "stats"}      -> {"status":"ok","stats":{...counters...}}
+//   {"op": "shutdown"}   -> {"status":"ok","shutdown":true}; the loop
+//                           drains in-flight requests and exits.
+//   {"id": "r1", "spec": "<.g/.sg text>",
+//    "format": "auto|g|sg",              // default auto (sniffed)
+//    "priority": 7,                      // higher starts earlier
+//    "deadline_ms": 250,                 // per-request RunGuard deadline
+//    "options": {...}}                   // output-affecting overrides
+//
+// Option overrides: minimize_passes, synth_threads, csc_top_k,
+// csc_max_insertions, max_literals, map_prune, map_threads, stop_after,
+// skip (array of stage names), symbolic_check, max_states, work_budget,
+// on_budget ("fail"|"degrade").
+//
+// Responses:
+//   {"id":"r1","status":"ok","cached":false,"key":"<hex>:<hex>",
+//    "result":{"ok":true,"report":{...},"netlist":{"sg":...,...}}}
+//   status "failed"  -> the flow ran and failed; result.report carries the
+//                       typed failure_kind (the server loop stays up — this
+//                       is the PR 7 containment contract).
+//   status "error"   -> the *request* was malformed (bad JSON, unknown
+//                       option); nothing ran.
+//
+// Caching: the result object of a successful run is serialized once and
+// stored in the FlowCache under (canonical spec hash, options
+// fingerprint); a warm request splices the cached bytes verbatim into its
+// response, so warm results are bit-identical to the cold ones.  Failed
+// runs are never cached (resource failures depend on wall clock; the
+// cheap deterministic failures re-derive in microseconds).  Cache hits
+// are answered on the request thread without touching the scheduler;
+// misses run as scheduler jobs under the request's priority and a
+// per-request RunGuard deadline.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "flow/flow.hpp"
+#include "serve/flow_cache.hpp"
+#include "util/scheduler.hpp"
+
+namespace sitm::serve {
+
+struct ServeOptions {
+  /// Base options of every request's flow; request "options" members
+  /// override output-affecting fields.  Emit paths are ignored (the server
+  /// never writes spec outputs to disk); capture_emitted is forced on.
+  FlowOptions flow;
+  /// Scheduler workers (free-running).  0 = one per hardware core.
+  int threads = 1;
+  /// FlowCache byte budget / shard count.
+  std::size_t cache_bytes = std::size_t{256} << 20;
+  int cache_shards = 16;
+  /// Default per-request deadline when the request carries none; 0 = none.
+  double request_deadline_ms = 0;
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeOptions opts);
+  ~ServeEngine();
+
+  /// Parse one request line and start it.  Control ops and cache hits
+  /// complete immediately on the calling thread; misses are scheduled by
+  /// priority.  The future always yields a response line (never throws).
+  std::future<std::string> submit_line(const std::string& line);
+
+  /// submit + wait: the synchronous shape the benches and tests use.
+  std::string handle_line(const std::string& line) {
+    return submit_line(line).get();
+  }
+
+  /// True once a {"op":"shutdown"} request was accepted.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  Json stats_json() const;
+  FlowCache& cache() { return cache_; }
+  const ServeOptions& options() const { return opts_; }
+  std::uint64_t steals() const { return sched_.steals(); }
+
+ private:
+  struct Request;  // parsed synthesis request (spec + merged options)
+
+  /// Parse the request object into a Request; throws Error on bad fields.
+  Request parse_request(const Json& j) const;
+  /// Run one cache-miss request through the Flow engine; returns the
+  /// response line.  Never throws.
+  std::string run_request(Request req);
+  static std::string error_response(const std::string& id,
+                                    const std::string& message);
+
+  ServeOptions opts_;
+  FlowCache cache_;
+  WorkStealingScheduler sched_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+/// Shared request loop: read lines with `read_line` (false = EOF), write
+/// each response with `write_line`, in request order, overlapping
+/// execution via the engine's scheduler.  Returns when the stream ends or
+/// a shutdown request has been answered.
+void serve_stream(ServeEngine& engine,
+                  const std::function<bool(std::string&)>& read_line,
+                  const std::function<void(const std::string&)>& write_line);
+
+/// Pipe mode: stdin/stdout of this process.  Returns 0 on clean EOF or
+/// shutdown.
+int serve_pipe(ServeEngine& engine, std::istream& in, std::ostream& out);
+
+/// Unix-socket mode: bind `path` (an existing socket file is replaced),
+/// accept until a shutdown request arrives.  Each connection runs the
+/// stream loop above.  Returns 0 on shutdown, 1 on socket errors.
+int serve_socket(ServeEngine& engine, const std::string& path);
+
+}  // namespace sitm::serve

@@ -1,0 +1,85 @@
+#pragma once
+// Canonical content hashing of parsed specifications — the spec half of the
+// serve cache key.
+//
+// The hash is computed from the *post-parse, canonicalized* structure, not
+// the input bytes, so every formatting variant of the same specification
+// collides onto one cache line:
+//   * comments, whitespace and blank lines are gone after parsing;
+//   * signal declaration order is normalized by sorting signals by name;
+//   * .g graph-line order is normalized by hashing places as a sorted
+//     multiset of (sorted pre-transition labels, sorted post-transition
+//     labels, initial-marking count) descriptors;
+//   * transition instance names are normalized ("a+" and "a+/1" are the
+//     same transition and serialize identically);
+//   * .sg state names and state declaration order are normalized by a BFS
+//     renumbering from the initial state with canonically ordered edges.
+// Signal *names* are semantic (they become netlist ports) and stay in the
+// hash: renaming a signal is a different specification.
+//
+// The digest is 128 bits (two independently seeded FNV-1a streams over the
+// same canonical byte serialization): at cache scale a 64-bit key would
+// make accidental collisions — which silently serve the wrong netlist —
+// merely improbable; 128 makes them unreachable.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sitm {
+
+class Stg;
+class StateGraph;
+struct Spec;
+
+/// 128-bit canonical content hash.
+struct SpecHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const SpecHash&) const = default;
+  bool operator<(const SpecHash& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+  /// 32-hex-digit rendering (cache keys in reports / the serve protocol).
+  std::string hex() const;
+};
+
+/// Two independently seeded FNV-1a streams fed the same bytes; platform-
+/// and run-independent (no pointers, no std::hash).  Also the engine under
+/// FlowOptions::fingerprint().
+class StableHasher {
+ public:
+  void bytes(const void* data, std::size_t n);
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool b) { u64(b ? 1 : 0); }
+  /// Domain-separation tag between sections.
+  void tag(char c) { bytes(&c, 1); }
+
+  SpecHash digest() const { return SpecHash{hi_, lo_}; }
+
+ private:
+  std::uint64_t hi_ = 14695981039346656037ull;           // FNV offset basis
+  std::uint64_t lo_ = 14695981039346656037ull ^ 0x53495f544d5f3873ull;
+};
+
+/// Canonical hash of a parsed .g specification (see file comment).
+SpecHash canonical_spec_hash(const Stg& stg);
+
+/// Canonical hash of an explicit state graph: BFS renumbering from the
+/// initial state (edges ordered by canonical event id), signals sorted by
+/// name, codes permuted accordingly.  States unreachable from the initial
+/// state do not contribute (they are behaviorally inert and the flow prunes
+/// them anyway).
+SpecHash canonical_spec_hash(const StateGraph& sg);
+
+/// Dispatch on the parsed form; .g and .sg live in disjoint key spaces
+/// (the flow treats them differently — reachability runs only for .g).
+SpecHash canonical_spec_hash(const Spec& spec);
+
+}  // namespace sitm

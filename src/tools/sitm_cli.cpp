@@ -15,6 +15,13 @@
 //               [--item-deadline-ms N] [--retry-degraded]
 //                                          full flow over a spec corpus
 //   sitm bench  <name|list>                dump a suite benchmark as .g
+//   sitm serve  --pipe | --socket PATH [--threads N] [--cache-mb N]
+//               [--deadline-ms N] [-i N] [--synth-threads N]
+//               [--map-threads N] [--map-prune] [--csc-top-k N]
+//                                          persistent synthesis service:
+//                                          newline-delimited JSON requests,
+//                                          content-addressed result cache
+//                                          (see src/serve/server.hpp)
 //
 // map/verify/batch are thin shells over the staged Flow engine
 // (src/flow/): stages load, reachability, properties, csc, synth, decomp,
@@ -40,6 +47,7 @@
 #include "benchlib/suite.hpp"
 #include "flow/batch.hpp"
 #include "flow/flow.hpp"
+#include "serve/server.hpp"
 #include "sg/properties.hpp"
 #include "stg/g_io.hpp"
 #include "stg/load.hpp"
@@ -70,6 +78,9 @@ int usage() {
       "              [--skip STAGE] [--json out.json] [--item-deadline-ms N]\n"
       "              [--retry-degraded]\n"
       "  sitm bench  <name|list>\n"
+      "  sitm serve  --pipe | --socket PATH [--threads N] [--cache-mb N]\n"
+      "              [--deadline-ms N] [-i N] [--synth-threads N]\n"
+      "              [--map-threads N] [--map-prune] [--csc-top-k N]\n"
       "stages: load reachability properties csc synth decomp map verify "
       "emit\n");
   return 2;
@@ -378,6 +389,53 @@ int cmd_batch(int argc, char** argv) {
   return result.all_ok() ? 0 : 1;
 }
 
+int cmd_serve(int argc, char** argv) {
+  FlowArgs args;
+  bool pipe = false;
+  std::string socket_path;
+  std::uint64_t cache_mb = 256;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--pipe") {
+      pipe = true;
+    } else if (arg == "--socket") {
+      if (i + 1 >= argc) return usage();
+      socket_path = argv[++i];
+    } else if (arg == "--cache-mb") {
+      if (i + 1 >= argc || !parse_count_arg(argv[++i], 1, &cache_mb))
+        return usage();
+    } else if (!args.consume(argc, argv, i, nullptr)) {
+      return usage();
+    }
+  }
+  if (pipe == !socket_path.empty()) {
+    std::fprintf(stderr,
+                 "serve wants exactly one of --pipe or --socket PATH\n");
+    return usage();
+  }
+  if (!args.flow.emit_sg_path.empty() || !args.flow.emit_verilog_path.empty() ||
+      !args.flow.emit_eqn_path.empty() || !args.json_path.empty() ||
+      args.item_deadline_ms > 0 || args.retry_degraded) {
+    std::fprintf(stderr,
+                 "serve does not take emit/json/batch flags (responses carry "
+                 "the results; per-request deadlines come from the request "
+                 "or --deadline-ms)\n");
+    return usage();
+  }
+
+  serve::ServeOptions opts;
+  opts.flow = args.flow;
+  opts.threads = args.batch_threads;
+  opts.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  // --deadline-ms becomes the default per-request deadline; each request
+  // may override it with its own "deadline_ms" field.
+  opts.request_deadline_ms = args.flow.deadline_ms;
+
+  serve::ServeEngine engine(opts);
+  return pipe ? serve::serve_pipe(engine, std::cin, std::cout)
+              : serve::serve_socket(engine, socket_path);
+}
+
 int cmd_bench(const std::string& which) {
   if (which == "list") {
     for (const auto& name : bench::suite_names())
@@ -403,6 +461,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_verify(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "bench") return cmd_bench(argv[2]);
+    if (cmd == "serve") return cmd_serve(argc, argv);
   } catch (const sitm::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

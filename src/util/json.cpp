@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
 
 namespace sitm {
 
@@ -119,6 +122,196 @@ std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON reader (serve request protocol).
+struct JsonParser {
+  std::string_view text;
+  std::size_t pos = 0;
+  static constexpr int kMaxDepth = 256;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("json parse error at offset " + std::to_string(pos) + ": " +
+                what);
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+  char peek() const { return pos < text.size() ? text[pos] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      unsigned d;
+      if (c >= '0' && c <= '9') d = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') d = static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') d = static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad \\u escape");
+      v = v * 16 + d;
+      ++pos;
+    }
+    return v;
+  }
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos >= text.size()) fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return out;
+      }
+      if (c < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos;
+        continue;
+      }
+      ++pos;  // backslash
+      switch (peek()) {
+        case '"': out += '"'; ++pos; break;
+        case '\\': out += '\\'; ++pos; break;
+        case '/': out += '/'; ++pos; break;
+        case 'b': out += '\b'; ++pos; break;
+        case 'f': out += '\f'; ++pos; break;
+        case 'n': out += '\n'; ++pos; break;
+        case 'r': out += '\r'; ++pos; break;
+        case 't': out += '\t'; ++pos; break;
+        case 'u': {
+          ++pos;
+          unsigned cp = hex4();
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: require the paired low surrogate.
+            if (!(eat('\\') && eat('u'))) fail("unpaired surrogate");
+            const unsigned lo = hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos;
+    if (eat('-')) {
+    }
+    if (!(peek() >= '0' && peek() <= '9')) fail("bad number");
+    while (peek() >= '0' && peek() <= '9') ++pos;
+    if (eat('.')) {
+      if (!(peek() >= '0' && peek() <= '9')) fail("bad number");
+      while (peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos;
+      if (peek() == '+' || peek() == '-') ++pos;
+      if (!(peek() >= '0' && peek() <= '9')) fail("bad number");
+      while (peek() >= '0' && peek() <= '9') ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    return std::strtod(token.c_str(), nullptr);
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': {
+        ++pos;
+        Json obj = Json::object();
+        skip_ws();
+        if (eat('}')) return obj;
+        while (true) {
+          skip_ws();
+          std::string key = parse_string_body();
+          skip_ws();
+          expect(':');
+          obj.set(key, parse_value(depth + 1));
+          skip_ws();
+          if (eat(',')) continue;
+          expect('}');
+          return obj;
+        }
+      }
+      case '[': {
+        ++pos;
+        Json arr = Json::array();
+        skip_ws();
+        if (eat(']')) return arr;
+        while (true) {
+          arr.push(parse_value(depth + 1));
+          skip_ws();
+          if (eat(',')) continue;
+          expect(']');
+          return arr;
+        }
+      }
+      case '"': return Json(parse_string_body());
+      case 't':
+        if (literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (literal("null")) return Json();
+        fail("bad literal");
+      default: return Json(parse_number());
+    }
+  }
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  JsonParser p{text};
+  Json v = p.parse_value(0);
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing garbage");
+  return v;
 }
 
 }  // namespace sitm

@@ -45,6 +45,13 @@ class Json {
   Kind kind() const { return kind_; }
   bool is_null() const { return kind_ == Kind::kNull; }
 
+  /// Value accessors for parsed documents; each returns the default-
+  /// constructed value when the kind does not match (callers validate kind()
+  /// first when the distinction matters).
+  bool bool_value() const { return bool_; }
+  double number() const { return num_; }
+  const std::string& string_value() const { return str_; }
+
   /// Array append.
   void push(Json v);
   std::size_t size() const { return arr_.size(); }
@@ -64,6 +71,14 @@ class Json {
 
   /// JSON string escaping (quotes not included).
   static std::string escape(std::string_view s);
+
+  /// Parse one JSON document (the full value grammar; `\uXXXX` escapes
+  /// decode to UTF-8, surrogate pairs included).  Added for the serve
+  /// front-end's request protocol — reports remain write-only, but the
+  /// server must read newline-delimited request objects.  Throws
+  /// sitm::Error with the byte offset on malformed input, trailing
+  /// garbage, or nesting deeper than 256 levels (requests are untrusted).
+  static Json parse(std::string_view text);
 
  private:
   void dump_to(std::string& out, int indent, int depth) const;

@@ -32,7 +32,10 @@ inline int resolve_worker_threads(int threads, std::size_t count) {
 
 /// Run fn(i) for every i in [0, count), on the calling thread when the
 /// resolved thread count is <= 1, otherwise on a pool claiming indices
-/// through an atomic counter (no ordering guarantee across indices).
+/// through an atomic counter (no ordering guarantee across indices).  The
+/// calling thread is one of the `threads` workers — only threads-1 are
+/// spawned — so a "--threads N" request uses exactly N cores instead of
+/// parking the caller in join() while an N+1th thread does its share.
 template <typename Fn>
 void parallel_for(std::size_t count, int threads, Fn&& fn) {
   threads = resolve_worker_threads(threads, count);
@@ -60,8 +63,9 @@ void parallel_for(std::size_t count, int threads, Fn&& fn) {
     }
   };
   std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 0; t < threads - 1; ++t) pool.emplace_back(worker);
+  worker();
   for (auto& t : pool) t.join();
   if (error) std::rethrow_exception(error);
 }

@@ -1,0 +1,152 @@
+// The work-stealing priority scheduler (util/scheduler.hpp), the
+// parallel_for caller-participation contract, and the batch driver's
+// bit-identity across thread counts now that it runs on the scheduler.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/batch.hpp"
+#include "util/parallel.hpp"
+#include "util/scheduler.hpp"
+
+namespace sitm {
+namespace {
+
+TEST(Scheduler, RunsEveryJobOnce) {
+  WorkStealingScheduler sched(4);
+  std::vector<std::atomic<int>> ran(100);
+  for (std::size_t i = 0; i < ran.size(); ++i)
+    sched.submit([&ran, i] { ran[i].fetch_add(1); });
+  sched.wait_idle();
+  for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+  EXPECT_EQ(sched.executed(), ran.size());
+}
+
+TEST(Scheduler, PriorityOrdersExecutionStart) {
+  // threads = 1, caller-participates: no OS thread is spawned, so nothing
+  // runs until wait_idle() drains the deque on this thread — the pop order
+  // is fully deterministic: highest priority first, FIFO within a priority.
+  WorkStealingScheduler sched(1);
+  std::vector<int> order;
+  sched.submit([&] { order.push_back(0); }, /*priority=*/0);
+  sched.submit([&] { order.push_back(1); }, /*priority=*/5);
+  sched.submit([&] { order.push_back(2); }, /*priority=*/1);
+  sched.submit([&] { order.push_back(3); }, /*priority=*/5);
+  sched.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 0}));
+}
+
+TEST(Scheduler, StealsFromABlockedWorkersDeque) {
+  WorkStealingScheduler sched(2, /*spawn_all=*/true);
+  std::atomic<bool> started{false}, release{false};
+  sched.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+
+  // With one worker parked, the other must drain both deques; submissions
+  // round-robin, so some of these jobs sit on the parked worker's deque and
+  // can only complete via a steal.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i)
+    sched.submit([&] { done.fetch_add(1); });
+  while (done.load() < 8) std::this_thread::yield();
+  EXPECT_GE(sched.steals(), 1u);
+
+  release.store(true);
+  sched.shutdown();
+  EXPECT_EQ(sched.executed(), 9u);
+}
+
+TEST(Scheduler, ParallelForJobsCoversAllIndices) {
+  std::vector<std::atomic<int>> ran(1000);
+  std::uint64_t steals = ~0ull;
+  parallel_for_jobs(ran.size(), 4, [&](std::size_t i) { ran[i].fetch_add(1); },
+                    &steals);
+  for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+  EXPECT_NE(steals, ~0ull);  // counter was written
+}
+
+TEST(Scheduler, ParallelForJobsRethrowsFirstException) {
+  EXPECT_THROW(
+      parallel_for_jobs(64, 4,
+                        [&](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, CallerThreadParticipates) {
+  // Two jobs that each spin until both have started: this can only finish
+  // promptly when two workers run concurrently.  parallel_for spawns
+  // threads-1 OS threads and runs the worker loop on the calling thread,
+  // so with threads = 2 the caller itself must pick up one of the jobs.
+  std::atomic<int> arrived{0};
+  std::atomic<bool> timed_out{false};
+  parallel_for(2, 2, [&](std::size_t) {
+    arrived.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (arrived.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        timed_out.store(true);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_FALSE(timed_out.load());
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+// ---- batch bit-identity on the scheduler --------------------------------
+
+/// Serialize `j` with the timing/scheduling observables stripped — the only
+/// fields allowed to differ across thread counts.
+std::string normalized(const Json& j) {
+  switch (j.kind()) {
+    case Json::Kind::kObject: {
+      std::string out = "{";
+      for (const auto& [k, v] : j.members()) {
+        if (k == "wall_ms" || k == "total_ms" || k == "workers" ||
+            k == "steals")
+          continue;
+        out += '"' + k + "\":" + normalized(v) + ',';
+      }
+      out += '}';
+      return out;
+    }
+    case Json::Kind::kArray: {
+      std::string out = "[";
+      for (const auto& v : j.items()) out += normalized(v) + ',';
+      out += ']';
+      return out;
+    }
+    default: return j.dump(0);
+  }
+}
+
+TEST(Scheduler, BatchResultsBitIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> names = {"chu133", "converta", "dff",
+                                          "half"};
+  BatchOptions opts;
+  opts.flow.mapper.library.max_literals = 2;
+
+  opts.threads = 1;
+  const std::string serial = normalized(run_batch_suite(names, opts).to_json());
+  for (const int threads : {2, 4, 0}) {
+    opts.threads = threads;
+    EXPECT_EQ(normalized(run_batch_suite(names, opts).to_json()), serial)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace sitm
