@@ -1,0 +1,21 @@
+# Line-coverage instrumentation for the `coverage` preset.
+#
+#   cmake -DSITM_COVERAGE=ON ...
+#
+# Uses the GCC/Clang --coverage pipeline (.gcno at compile time, .gcda at
+# run time) so plain `gcov` — present wherever the compiler is — can
+# produce the report; scripts/check_coverage.py aggregates the gcov JSON
+# across translation units and gates the checked-in floor
+# (COVERAGE_floor.json), and CI additionally renders an lcov summary.
+#
+# -fprofile-update=atomic matters: the tier-1 suite runs threaded tests
+# (scheduler, serve, batch, race stress), and non-atomic counter bumps
+# would both corrupt the counts and light up TSan.
+
+option(SITM_COVERAGE "Instrument for line coverage (--coverage)" OFF)
+
+if(SITM_COVERAGE)
+  message(STATUS "sitm: coverage instrumentation enabled")
+  add_compile_options(--coverage -fprofile-update=atomic)
+  add_link_options(--coverage)
+endif()

@@ -1,0 +1,25 @@
+# Reusable sanitizer toggle shared by every build preset (and CI job):
+#
+#   cmake -DSITM_SANITIZE=address,undefined ...   ASan + UBSan
+#   cmake -DSITM_SANITIZE=thread ...              TSan
+#
+# The value is passed through to -fsanitize= verbatim, so any combination
+# the toolchain accepts works.  -fno-sanitize-recover=all turns every
+# sanitizer report into a hard failure (CI must not scroll past one), and
+# frame pointers stay in so the reports carry usable stacks.
+#
+# Included before any target is defined: the flags apply to the library,
+# the CLI, every test and every bench the same way — one preset source of
+# truth instead of per-job inline flags.
+
+set(SITM_SANITIZE "" CACHE STRING
+    "Comma-separated -fsanitize= list (e.g. address,undefined or thread); empty disables")
+
+if(SITM_SANITIZE)
+  message(STATUS "sitm: sanitizers enabled: ${SITM_SANITIZE}")
+  add_compile_options(
+    -fsanitize=${SITM_SANITIZE}
+    -fno-sanitize-recover=all
+    -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=${SITM_SANITIZE})
+endif()

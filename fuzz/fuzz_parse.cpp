@@ -1,0 +1,126 @@
+// Coverage-guided fuzzing of the specification front door (see
+// fuzz_parse_impl.hpp for the input shape and the crash contract).
+//
+// Built only with -DSITM_BUILD_FUZZERS=ON (the `fuzz` preset).  Under
+// clang the CMakeLists adds -fsanitize=fuzzer and defines SITM_LIBFUZZER,
+// producing a real libFuzzer binary:
+//
+//   cmake --preset fuzz && cmake --build build-fuzz --target fuzz_parse
+//   mkdir -p corpus && cp data/benchmarks/*.g corpus/ && cp fuzz/corpus/* corpus/
+//   ./build-fuzz/fuzz_parse -max_len=65536 -max_total_time=60 corpus/
+//
+// Under any other compiler (the container toolchain is g++) the same
+// target builds with the standalone driver below instead: it replays file
+// arguments through fuzz_one, and with -t SECONDS additionally runs a
+// deterministic mutation loop over those files — no coverage feedback, but
+// the same harness, so corpus replay and smoke runs work everywhere.
+//
+//   ./build-fuzz/fuzz_parse fuzz/corpus/* data/benchmarks/*.g
+//   ./build-fuzz/fuzz_parse -t 30 fuzz/corpus/* data/benchmarks/*.g
+
+#include "fuzz_parse_impl.hpp"
+
+#ifdef SITM_LIBFUZZER
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return sitm::fuzz::fuzz_one(data, size);
+}
+
+#else  // standalone fallback driver
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+/// xorshift64*: tiny, seeded constant, so a given (-t, corpus) pair
+/// mutates the same byte sequences on every run.
+struct Rng {
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545f4914f6cdd1dull;
+  }
+};
+
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& seed,
+                                 Rng& rng) {
+  std::vector<std::uint8_t> out = seed;
+  const int edits = 1 + static_cast<int>(rng.next() % 8);
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    switch (rng.next() % 4) {
+      case 0:  // flip a byte
+        out[rng.next() % out.size()] ^=
+            static_cast<std::uint8_t>(1u << (rng.next() % 8));
+        break;
+      case 1:  // truncate
+        out.resize(1 + rng.next() % out.size());
+        break;
+      case 2:  // duplicate a slice onto the end (token splicing)
+      {
+        const std::size_t at = rng.next() % out.size();
+        const std::size_t len =
+            std::min<std::size_t>(out.size() - at, 1 + rng.next() % 64);
+        out.insert(out.end(), out.begin() + static_cast<long>(at),
+                   out.begin() + static_cast<long>(at + len));
+        break;
+      }
+      default:  // overwrite with a structural character
+      {
+        static const char kChars[] = "+-/.# \n\t{}|0123456789aR";
+        out[rng.next() % out.size()] = static_cast<std::uint8_t>(
+            kChars[rng.next() % (sizeof(kChars) - 1)]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 0;
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-t") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+      continue;
+    }
+    seeds.push_back(read_file(argv[i]));
+    sitm::fuzz::fuzz_one(seeds.back().data(), seeds.back().size());
+  }
+  std::printf("replayed %zu corpus file(s)\n", seeds.size());
+  if (seconds > 0 && !seeds.empty()) {
+    Rng rng;
+    std::uint64_t execs = 0;
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < until) {
+      for (int burst = 0; burst < 64; ++burst, ++execs) {
+        const auto input = mutate(seeds[rng.next() % seeds.size()], rng);
+        sitm::fuzz::fuzz_one(input.data(), input.size());
+      }
+    }
+    std::printf("mutation loop: %llu execs in %.0fs\n",
+                static_cast<unsigned long long>(execs), seconds);
+  }
+  return 0;
+}
+
+#endif  // SITM_LIBFUZZER

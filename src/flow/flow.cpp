@@ -8,6 +8,7 @@
 #include "sg/properties.hpp"
 #include "sg/sg_io.hpp"
 #include "stg/canon.hpp"
+#include "stg/lint.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/parallel.hpp"
@@ -85,6 +86,9 @@ std::uint64_t FlowOptions::fingerprint() const {
   // verify / reachability.
   h.u64(verify_max_states);
   h.boolean(symbolic_check);
+  // The lint gate decides whether a bad spec fails before reachability, so
+  // toggling it changes which outcome a run settles on.
+  h.boolean(lint);
   // Deterministic resource limits (NOT deadline_ms / guard: wall-clock
   // bounds are observational — see the header).
   h.u64(max_states);
@@ -312,6 +316,27 @@ void Flow::stage_load(StageReport& sr) {
 }
 
 void Flow::stage_reachability(StageReport& sr) {
+  if (opts_.lint) {
+    // Static reject gate: catch specification bugs before paying for the
+    // token game.  Errors fail the stage typed (`spec`); warnings ride the
+    // report.  This also covers the pre-parsed entry points (run_spec /
+    // serve), whose load stage never runs a body.
+    const LintReport lint = lint_spec(ctx_.spec);
+    if (!lint.clean()) {
+      sr.metric("lint_errors", lint.errors);
+      sr.metric("lint_warnings", lint.warnings);
+    }
+    for (const auto& d : lint.diagnostics)
+      if (d.severity == LintSeverity::kWarning)
+        sr.warnings.push_back(std::string("lint[") + lint_rule_name(d.rule) +
+                              "]: " + d.message);
+    if (!lint.ok()) {
+      std::string failure = lint.first_error();
+      if (lint.errors > 1)
+        failure += " (+" + std::to_string(lint.errors - 1) + " more)";
+      throw Error(failure);
+    }
+  }
   if (ctx_.spec.sg) {
     // Move rather than copy: the load metrics were already recorded, and a
     // second full SG would double peak memory for every batch worker.

@@ -126,6 +126,11 @@ struct FlowOptions {
   /// Run the symbolic (BDD) reachability cross-check in the reachability
   /// stage (.g specs only); mismatches are reported as warnings.
   bool symbolic_check = false;
+  /// Run the static spec lint (stg/lint.hpp) at the reachability gate,
+  /// before any state graph is built: lint errors fail the stage with a
+  /// typed `spec` failure_kind (the serve/batch fast reject path), lint
+  /// warnings travel on the stage report.  Purely structural, O(net size).
+  bool lint = false;
 
   // ---- resource governance -------------------------------------------
   /// Wall-clock deadline for the whole run; 0 = none.  Enforced

@@ -41,11 +41,24 @@ double want_number(const Json& j, const char* what) {
 
 int want_int(const Json& j, const char* what, int min) {
   const double d = want_number(j, what);
-  const int v = static_cast<int>(d);
-  if (static_cast<double>(v) != d || v < min)
+  // Range-check BEFORE casting: float-to-int conversion of an
+  // out-of-range double is undefined behaviour, and requests are
+  // untrusted ({"priority":1e20} must be a request error, not UB).
+  if (!(d >= min && d <= 2147483647.0) ||
+      static_cast<double>(static_cast<int>(d)) != d)
     throw Error(std::string(what) + " must be an integer >= " +
                 std::to_string(min));
-  return v;
+  return static_cast<int>(d);
+}
+
+/// Non-negative integer counts (max_states, work_budget): same UB-safe
+/// range check, wide result.
+std::uint64_t want_count(const Json& j, const char* what) {
+  const double d = want_number(j, what);
+  if (!(d >= 0 && d <= 9007199254740992.0) ||  // 2^53: exact doubles only
+      d != static_cast<double>(static_cast<std::uint64_t>(d)))
+    throw Error(std::string(what) + " must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
 }
 
 bool want_bool(const Json& j, const char* what) {
@@ -90,6 +103,8 @@ void apply_options(const Json& o, FlowOptions* flow) {
       flow->mapper.threads = want_int(v, "map_threads", 0);
     } else if (key == "symbolic_check") {
       flow->symbolic_check = want_bool(v, "symbolic_check");
+    } else if (key == "lint") {
+      flow->lint = want_bool(v, "lint");
     } else if (key == "stop_after") {
       flow->stop_after = want_stage(v, "stop_after");
     } else if (key == "skip") {
@@ -97,11 +112,10 @@ void apply_options(const Json& o, FlowOptions* flow) {
         throw Error("skip must be an array of stage names");
       for (const auto& s : v.items()) flow->set_skip(want_stage(s, "skip"));
     } else if (key == "max_states") {
-      flow->max_states = static_cast<std::size_t>(
-          want_number(v, "max_states"));
+      flow->max_states =
+          static_cast<std::size_t>(want_count(v, "max_states"));
     } else if (key == "work_budget") {
-      flow->work_budget = static_cast<std::uint64_t>(
-          want_number(v, "work_budget"));
+      flow->work_budget = want_count(v, "work_budget");
     } else if (key == "on_budget") {
       const std::string& policy = want_string(v, "on_budget");
       if (policy == "fail") flow->on_budget = FlowOptions::OnBudget::kFail;

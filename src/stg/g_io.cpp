@@ -28,6 +28,11 @@ bool parse_transition_token(std::string_view token, TransRef* out) {
     instance = 0;
     for (char c : inst) {
       if (c < '0' || c > '9') return false;
+      // Cap the instance index: an unbounded accumulate is signed overflow
+      // (UB) on adversarial input like "a+/99999999999999999999".
+      if (instance > 1000000)
+        throw Error("transition instance out of range: " +
+                    std::string(token));
       instance = instance * 10 + (c - '0');
     }
     body = token.substr(0, slash);

@@ -1,6 +1,9 @@
 // sitm — command-line driver for the technology mapping flow.
 //
 //   sitm info   <file.g|file.sg>           specification statistics & checks
+//   sitm lint   <file> [--json out.json]   static spec diagnostics (stg/lint):
+//                                          exit 1 when any `error`-severity
+//                                          rule fires, 0 on clean/warnings
 //   sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] [--eqn out.eqn]
 //               [--threads N] [--map-threads N] [--map-prune]
 //               [--csc-top-k N] [--stop-after STAGE] [--skip STAGE]
@@ -50,6 +53,7 @@
 #include "serve/server.hpp"
 #include "sg/properties.hpp"
 #include "stg/g_io.hpp"
+#include "stg/lint.hpp"
 #include "stg/load.hpp"
 #include "stg/symbolic.hpp"
 #include "util/error.hpp"
@@ -64,6 +68,7 @@ int usage() {
       stderr,
       "usage:\n"
       "  sitm info   <file.g|file.sg>\n"
+      "  sitm lint   <file.g|file.sg> [--json out.json]\n"
       "  sitm map    <file> [-i N] [-o out.sg] [--verilog out.v] "
       "[--eqn out.eqn]\n"
       "              [--threads N] [--map-threads N] [--map-prune] "
@@ -204,6 +209,13 @@ struct FlowArgs {
       if (!parse_ms_arg(next(), &item_deadline_ms)) return false;
     } else if (arg == "--retry-degraded") {
       retry_degraded = true;
+    } else if (arg == "--lint") {
+      // Static spec lint at the reachability gate: lint errors reject the
+      // spec typed (`spec`) before any state graph is built.  Default on
+      // for batch and serve, opt-in for map/verify.
+      flow.lint = true;
+    } else if (arg == "--no-lint") {
+      flow.lint = false;
     } else if (arg == "--json") {
       const char* v = next();
       if (!v) return false;
@@ -350,9 +362,42 @@ int cmd_verify(int argc, char** argv) {
   return 1;
 }
 
+int cmd_lint(int argc, char** argv) {
+  std::string path, json_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
+    } else if (path.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  const Spec spec = load_spec_file(path);
+  const LintReport report = lint_spec(spec);
+  for (const auto& d : report.diagnostics)
+    std::printf("%s: %s[%s]%s%s: %s\n", spec.name.c_str(),
+                lint_severity_name(d.severity), lint_rule_name(d.rule),
+                d.subject.empty() ? "" : " ",
+                d.subject.empty() ? "" : d.subject.c_str(), d.message.c_str());
+  std::printf("%s: %d error(s), %d warning(s)\n", spec.name.c_str(),
+              report.errors, report.warnings);
+  if (!json_path.empty()) {
+    Json j = report.to_json();
+    j.set("name", spec.name);
+    write_json_file(json_path, j);
+  }
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_batch(int argc, char** argv) {
   std::string target;
   FlowArgs args;
+  args.flow.lint = true;  // the corpus gate; --no-lint opts out
   for (int i = 2; i < argc; ++i)
     if (!args.consume(argc, argv, i, &target)) return usage();
   if (target.empty()) return usage();
@@ -391,6 +436,7 @@ int cmd_batch(int argc, char** argv) {
 
 int cmd_serve(int argc, char** argv) {
   FlowArgs args;
+  args.flow.lint = true;  // fast reject path; requests can override
   bool pipe = false;
   std::string socket_path;
   std::uint64_t cache_mb = 256;
@@ -457,6 +503,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "info") return cmd_info(argv[2]);
+    if (cmd == "lint") return cmd_lint(argc, argv);
     if (cmd == "map") return cmd_map(argc, argv);
     if (cmd == "verify") return cmd_verify(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);

@@ -1,9 +1,25 @@
-// End-to-end fuzzing: random specifications pushed through the complete
-// flow (reachability -> synthesis -> mapping -> gate-level verification ->
-// observational equivalence), across seeds and library sizes.
+// Fuzz regression + randomized end-to-end smoke.
+//
+// Part 1 — deterministic corpus replay: every input in fuzz/corpus/ (seed
+// specs plus the triggering input of each fixed fuzzing finding) is pushed
+// through the shared fuzz entry (fuzz/fuzz_parse_impl.hpp) on every tier-1
+// run.  A finding fixed once stays fixed without a fuzzer in the loop.
+//
+// Part 2 — randomized pipeline smoke: random specifications through the
+// complete flow (reachability -> synthesis -> mapping -> gate-level
+// verification -> observational equivalence), across seeds and library
+// sizes.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "../fuzz/fuzz_parse_impl.hpp"
 #include "benchlib/random_stg.hpp"
 #include "core/mapper.hpp"
 #include "netlist/si_verify.hpp"
@@ -14,6 +30,48 @@
 
 namespace sitm {
 namespace {
+
+// ---- Part 1: fuzz/corpus regression replay -------------------------------
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir =
+      std::filesystem::path(SITM_SOURCE_DIR) / "fuzz" / "corpus";
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class FuzzCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FuzzCorpus, Replays) {
+  std::ifstream in(GetParam(), std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << GetParam();
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string bytes = ss.str();
+  // The assertion is "no escape": fuzz_one must contain every input in the
+  // corpus — typed rejection or clean acceptance, never a crash/UB/throw
+  // of anything outside the sitm::Error taxonomy.
+  EXPECT_EQ(fuzz::fuzz_one(reinterpret_cast<const std::uint8_t*>(
+                               bytes.data()),
+                           bytes.size()),
+            0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FuzzCorpus,
+                         ::testing::ValuesIn(corpus_files()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           std::string name =
+                               std::filesystem::path(i.param).filename();
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+// ---- Part 2: randomized full-pipeline smoke ------------------------------
 
 struct FuzzCase {
   std::uint64_t seed;

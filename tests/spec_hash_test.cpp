@@ -193,6 +193,7 @@ TEST(OptionsFingerprint, OutputAffectingFieldsChangeTheKey) {
   differs([](FlowOptions& o) { o.mapper.prune_pre_checks = true; },
           "mapper.prune_pre_checks");
   differs([](FlowOptions& o) { o.symbolic_check = true; }, "symbolic_check");
+  differs([](FlowOptions& o) { o.lint = true; }, "lint");
   differs([](FlowOptions& o) { o.verify_max_states = 123; },
           "verify_max_states");
   differs([](FlowOptions& o) { o.max_states = 77; }, "max_states");
