@@ -104,6 +104,41 @@ void BM_FlowMapVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowMapVerify)->DenseRange(2, 6, 2)->Unit(benchmark::kMillisecond);
 
+// The output-side gate in isolation: nlint + the BDD equivalence proof over
+// an already-synthesized netlist, as a function of specification size.
+// Arg 1 toggles variable sifting on the reachable-set BDD.
+void BM_CheckEquivalence(benchmark::State& state) {
+  FlowOptions synth_opts;
+  synth_opts.mapper.library.max_literals = 2;
+  synth_opts.stop_after = Stage::kMap;
+  Flow flow(synth_opts);
+  Spec spec;
+  spec.name = "parallelizer";
+  spec.stg = bench::make_parallelizer(static_cast<int>(state.range(0)));
+  const FlowReport synth = flow.run_spec(std::move(spec));
+  if (!synth.ok || !flow.context().netlist) {
+    state.SkipWithError("synthesis failed");
+    return;
+  }
+  const Netlist& netlist = *flow.context().netlist;
+  CheckOptions opts;
+  opts.reorder = state.range(1) != 0;
+  std::size_t bdd = 0;
+  for (auto _ : state) {
+    const NlintReport nlint = nlint_netlist(netlist);
+    const EquivReport equiv = check_equivalence(netlist, opts);
+    bdd = equiv.reach_bdd_size;
+    benchmark::DoNotOptimize(nlint);
+    benchmark::DoNotOptimize(equiv);
+  }
+  state.counters["reach_bdd"] = static_cast<double>(bdd);
+}
+BENCHMARK(BM_CheckEquivalence)
+    ->Args({4, 0})
+    ->Args({6, 0})
+    ->Args({6, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MapParallelizer(benchmark::State& state) {
   const StateGraph sg =
       bench::make_parallelizer(static_cast<int>(state.range(0)))

@@ -4,6 +4,7 @@
 Usage:
     compare_bench.py BASELINE.json FRESH.json [--threshold PCT]
                      [--names REGEX] [--no-normalize]
+                     [--thread-scaling REGEX]
                      [--speedup SLOW/FAST:MIN ...]
 
 Both files are google-benchmark JSON reports (bench/run_bench.sh output).
@@ -21,6 +22,16 @@ uniform machine-speed shift cancels and only benchmarks that regressed
 *relative to the rest of the suite* fail.  --no-normalize gates on raw
 ratios instead (sensible when both runs come from the same machine).
 
+Thread-scaling benchmarks (names matching --thread-scaling; the default
+covers the two thread-count sweeps in bench_scaling.cpp) are only
+comparable between machines with the same core count:
+a baseline recorded on the single-core container pins no speedup an
+8-core runner should reproduce, and vice versa.  run_bench.sh stamps
+"host": {"nproc", "fingerprint"} into its reports; when both reports
+carry a core count (host.nproc, falling back to google-benchmark's
+context.num_cpus) and the counts differ, thread-scaling benchmarks are
+dropped from the gate with a printed note.
+
 --speedup SLOW/FAST:MIN additionally asserts that, within the FRESH run
 alone, benchmark SLOW takes at least MIN times as long as benchmark FAST
 (e.g. --speedup BM_ServeCold/BM_ServeWarm:10 pins the serve cache's warm
@@ -36,14 +47,30 @@ import re
 import sys
 
 
-def load_benchmarks(path):
-    """name -> real_time in nanoseconds, iteration entries only."""
+def load_report(path):
     try:
         with open(path, encoding="utf-8") as fh:
-            report = json.load(fh)
+            return json.load(fh)
     except (OSError, ValueError) as err:
         print(f"compare_bench: cannot read {path}: {err}", file=sys.stderr)
         sys.exit(2)
+
+
+def host_nproc(report):
+    """Core count the report was recorded on, or None when unrecorded.
+
+    Prefers the host block stamped by run_bench.sh; google-benchmark's own
+    context.num_cpus is the fallback for reports produced without it.
+    """
+    host = report.get("host", {})
+    if isinstance(host.get("nproc"), int):
+        return host["nproc"]
+    cpus = report.get("context", {}).get("num_cpus")
+    return cpus if isinstance(cpus, int) else None
+
+
+def load_benchmarks(report, path):
+    """name -> real_time in nanoseconds, iteration entries only."""
     to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
     out = {}
     for bm in report.get("benchmarks", []):
@@ -81,14 +108,31 @@ def main():
                         help="regex of benchmark names to gate")
     parser.add_argument("--no-normalize", action="store_true",
                         help="gate raw ratios (same-machine runs)")
+    parser.add_argument("--thread-scaling",
+                        default="SynthesizeAllParallel|MapParallelResynth",
+                        metavar="REGEX",
+                        help="benchmarks skipped when core counts differ")
     parser.add_argument("--speedup", action="append", default=[],
                         metavar="SLOW/FAST:MIN",
                         help="assert fresh[SLOW] >= MIN * fresh[FAST]")
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    fresh = load_benchmarks(args.fresh)
+    base_report = load_report(args.baseline)
+    fresh_report = load_report(args.fresh)
+    base = load_benchmarks(base_report, args.baseline)
+    fresh = load_benchmarks(fresh_report, args.fresh)
     name_re = re.compile(args.names)
+
+    base_cores = host_nproc(base_report)
+    fresh_cores = host_nproc(fresh_report)
+    skipped_scaling = []
+    if (base_cores is not None and fresh_cores is not None
+            and base_cores != fresh_cores):
+        scaling_re = re.compile(args.thread_scaling)
+        skipped_scaling = sorted(n for n in base if scaling_re.search(n))
+        for name in skipped_scaling:
+            base.pop(name, None)
+            fresh.pop(name, None)
 
     matched = sorted(n for n in base if n in fresh and name_re.search(n))
     missing = sorted(n for n in base
@@ -109,6 +153,13 @@ def main():
     print("note: the checked-in baseline comes from the single-core "
           "benchmark container; absolute times on other machines differ "
           "and only the normalized spread is meaningful there.")
+    if skipped_scaling:
+        print(f"note: core counts differ (baseline {base_cores}, fresh "
+              f"{fresh_cores}); skipping {len(skipped_scaling)} "
+              f"thread-scaling benchmark(s) matching "
+              f"'{args.thread_scaling}':")
+        for name in skipped_scaling:
+            print(f"  {name}: skipped (thread scaling not comparable)")
 
     failed = []
     for name in matched:

@@ -29,4 +29,27 @@ cmake --build "$build_dir" --target bench_scaling -j"$(nproc)"
   --benchmark_out_format=json \
   "$@"
 
+# Stamp the host shape into the report.  compare_bench.py uses host.nproc to
+# decide whether thread-scaling benchmarks are comparable at all: a baseline
+# from the single-core container says nothing about 8-thread speedups.
+cpu_model="$(sed -n 's/^model name[[:space:]]*: //p' /proc/cpuinfo 2>/dev/null \
+  | head -1)"
+[[ -n "$cpu_model" ]] || cpu_model="$(uname -m)"
+nproc_now="$(nproc)" cpu_model="$cpu_model" python3 - "$out_file" <<'PY'
+import json
+import os
+import sys
+
+path = sys.argv[1]
+with open(path, encoding="utf-8") as fh:
+    report = json.load(fh)
+report["host"] = {
+    "nproc": int(os.environ["nproc_now"]),
+    "fingerprint": os.environ["cpu_model"],
+}
+with open(path, "w", encoding="utf-8") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
+PY
+
 echo "wrote $out_file"

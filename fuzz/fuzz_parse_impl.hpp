@@ -12,7 +12,10 @@
 //   mode 2  auto-sniff, then run the sitm-lint diagnostics on the result
 //   mode 3  full front half of the flow (parse -> lint gate ->
 //           reachability) under a tight deterministic RunGuard
-// The digits '0'..'3' map onto modes 0..3, so checked-in corpus entries
+//   mode 4  full synthesis flow with the output-side check stage on
+//           (parse -> ... -> map -> nlint + BDD equivalence) under a
+//           tight deterministic RunGuard
+// The digits '0'..'4' map onto modes 0..4, so checked-in corpus entries
 // can spell their mode readably in the first byte.
 //
 // Contract under fuzzing: malformed input must be rejected with the typed
@@ -37,7 +40,11 @@ inline constexpr std::size_t kMaxInput = std::size_t{64} << 10;
 
 inline int fuzz_one(const std::uint8_t* data, std::size_t size) {
   if (size == 0 || size > kMaxInput) return 0;
-  const int mode = data[0] % 4;
+  // Digits keep their face value so corpus entries stay readable (and so
+  // adding a mode never silently re-tags the existing corpus).
+  const std::uint8_t tag = data[0];
+  const int mode =
+      (tag >= '0' && tag <= '9') ? (tag - '0') % 5 : tag % 5;
   const std::string text(reinterpret_cast<const char*>(data) + 1, size - 1);
   try {
     switch (mode) {
@@ -58,6 +65,19 @@ inline int fuzz_one(const std::uint8_t* data, std::size_t size) {
         opts.stop_after = Stage::kReachability;
         opts.max_states = 4096;
         opts.work_budget = std::uint64_t{1} << 20;
+        Flow flow(opts);
+        (void)flow.run_string(text);  // failures are captured, typed
+        break;
+      }
+      case 4: {
+        // The whole pipeline plus the output-side gate: whatever netlist
+        // synthesis produces from a hostile spec, nlint and the BDD
+        // equivalence checker must digest it without escaping the taxonomy.
+        FlowOptions opts;
+        opts.lint = true;
+        opts.check = true;
+        opts.max_states = 512;
+        opts.work_budget = std::uint64_t{1} << 18;
         Flow flow(opts);
         (void)flow.run_string(text);  // failures are captured, typed
         break;

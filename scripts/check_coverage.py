@@ -13,9 +13,13 @@ when present, is purely for the human-readable report.
 
 The floor file pins the minimum acceptable aggregate line coverage of
 src/ (one number, conservatively below the measured value so unrelated
-refactors don't flap the gate).  CI fails when measured < floor;
---update-floor rewrites the file from the current measurement minus a
-small margin.
+refactors don't flap the gate).  An optional "per_path_min" object maps
+directory prefixes (e.g. "src/netlist/") to their own minimums, so
+subsystems with a deliberate testing bar — the output-side checker, the
+BDD layer — can't erode quietly while the aggregate stays green.  CI
+fails when any measurement < its floor; --update-floor rewrites the
+aggregate (and refreshes any existing per-path entries) from the current
+measurement minus a small margin.
 """
 
 import argparse
@@ -96,9 +100,26 @@ def main():
     for path, (c, t) in worst[:5]:
         print(f"  lowest: {path}: {100.0 * c / max(t, 1):.1f}% ({c}/{t})")
 
+    def path_pct(prefix):
+        c = sum(cv for p, (cv, _) in stats.items() if p.startswith(prefix))
+        t = sum(tt for p, (_, tt) in stats.items() if p.startswith(prefix))
+        return (100.0 * c / t, c, t) if t else (None, 0, 0)
+
     floor_path = os.path.join(repo_root, args.floor)
     if args.update_floor:
+        try:
+            with open(floor_path) as f:
+                previous = json.load(f)
+        except (OSError, ValueError):
+            previous = {}
         floor = {"src_line_coverage_min": round(pct - MARGIN, 1)}
+        per_path = {}
+        for prefix in previous.get("per_path_min", {}):
+            sub_pct, _, _ = path_pct(prefix)
+            if sub_pct is not None:
+                per_path[prefix] = round(sub_pct - MARGIN, 1)
+        if per_path:
+            floor["per_path_min"] = per_path
         with open(floor_path, "w") as f:
             json.dump(floor, f, indent=2)
             f.write("\n")
@@ -107,11 +128,28 @@ def main():
         return
 
     with open(floor_path) as f:
-        floor = json.load(f)["src_line_coverage_min"]
+        floors = json.load(f)
+    failures = []
+    floor = floors["src_line_coverage_min"]
     if pct < floor:
-        sys.exit(f"FAIL: src/ line coverage {pct:.2f}% is below the "
-                 f"checked-in floor {floor}% ({args.floor}). Add tests, or "
-                 f"lower the floor deliberately in the same PR.")
+        failures.append(f"src/ line coverage {pct:.2f}% is below the "
+                        f"checked-in floor {floor}%")
+    for prefix, sub_floor in sorted(floors.get("per_path_min", {}).items()):
+        sub_pct, c, t = path_pct(prefix)
+        if sub_pct is None:
+            failures.append(f"{prefix} has a floor ({sub_floor}%) but no "
+                            "measured lines — was the subsystem removed?")
+            continue
+        verdict = "OK" if sub_pct >= sub_floor else "FAIL"
+        print(f"  {prefix}: {sub_pct:.2f}% ({c}/{t} lines), "
+              f"floor {sub_floor}% [{verdict}]")
+        if sub_pct < sub_floor:
+            failures.append(f"{prefix} line coverage {sub_pct:.2f}% is "
+                            f"below its floor {sub_floor}%")
+    if failures:
+        sys.exit("FAIL: " + "; ".join(failures) +
+                 f" ({args.floor}). Add tests, or lower the floor "
+                 "deliberately in the same PR.")
     print(f"OK: above the {floor}% floor")
 
 

@@ -19,15 +19,16 @@ namespace {
 
 constexpr const char* kStageNames[kNumStages] = {
     "load", "reachability", "properties", "csc", "synth",
-    "decomp", "map", "verify", "emit",
+    "decomp", "map", "check", "verify", "emit",
 };
 
 /// Static fault-injection site per stage entry (fault::hit wants a stable
 /// const char*).
 constexpr const char* kStageFaultSites[kNumStages] = {
-    "flow.load", "flow.reachability", "flow.properties",
-    "flow.csc",  "flow.synth",        "flow.decomp",
-    "flow.map",  "flow.verify",       "flow.emit",
+    "flow.load",  "flow.reachability", "flow.properties",
+    "flow.csc",   "flow.synth",        "flow.decomp",
+    "flow.map",   "flow.check",        "flow.verify",
+    "flow.emit",
 };
 
 constexpr const char* kFailureKindNames[] = {
@@ -89,6 +90,12 @@ std::uint64_t FlowOptions::fingerprint() const {
   // The lint gate decides whether a bad spec fails before reachability, so
   // toggling it changes which outcome a run settles on.
   h.boolean(lint);
+  // Same for the check gate (a netlist the checker rejects fails the run),
+  // and its knobs change the stage's reported metrics/warnings.
+  h.boolean(check);
+  h.i64(check_opts.nlint.max_gc_fanin);
+  h.boolean(check_opts.reorder);
+  h.i64(check_opts.reorder_rounds);
   // Deterministic resource limits (NOT deadline_ms / guard: wall-clock
   // bounds are observational — see the header).
   h.u64(max_states);
@@ -247,7 +254,10 @@ FlowReport Flow::run_stages(Stage first) {
       continue;
     }
     const bool spine = s == Stage::kLoad || s == Stage::kReachability;
-    if (opts_.skipped(s) && !spine) {
+    // The check stage is opt-in: when disabled it is skipped *before* the
+    // guard checkpoint and fault site fire, so an armed flow.check fault
+    // cannot trip a run that never asked for the stage.
+    if ((opts_.skipped(s) || (s == Stage::kCheck && !opts_.check)) && !spine) {
       sr.skipped = true;
     } else {
       if (opts_.skipped(s) && spine)
@@ -269,6 +279,7 @@ FlowReport Flow::run_stages(Stage first) {
           case Stage::kSynth: stage_synth(sr); break;
           case Stage::kDecomp: stage_decomp(sr); break;
           case Stage::kMap: stage_map(sr); break;
+          case Stage::kCheck: stage_check(sr); break;
           case Stage::kVerify: stage_verify(sr); break;
           case Stage::kEmit: stage_emit(sr); break;
         }
@@ -518,6 +529,58 @@ void Flow::stage_map(StageReport& sr) {
   sr.metric("literals", ctx_.netlist->total_literals());
   sr.metric("c_elements", ctx_.netlist->num_c_elements());
   sr.metric("max_gate_literals", ctx_.netlist->max_gate_complexity());
+}
+
+void Flow::stage_check(StageReport& sr) {
+  if (!ctx_.netlist) {
+    sr.ran = false;
+    sr.skipped = true;
+    sr.warnings.push_back("no netlist to check (synth and map skipped)");
+    return;
+  }
+  const Netlist& netlist = *ctx_.netlist;
+  // The mapped netlist speaks the mapped SG's signals; the decomp result
+  // belongs to the *unconstrained* netlist, so the wire rules only apply
+  // when the flow stopped at the synth revision.
+  const TechDecompResult* decomp =
+      ctx_.decomp && !ctx_.mapped ? &*ctx_.decomp : nullptr;
+  ctx_.nlint = nlint_netlist(netlist, decomp, opts_.check_opts.nlint);
+  sr.metric("nlint_rules", ctx_.nlint->rules_run);
+  sr.metric("nlint_errors", ctx_.nlint->errors);
+  sr.metric("nlint_warnings", ctx_.nlint->warnings);
+  for (const auto& d : ctx_.nlint->diagnostics)
+    if (d.severity == NlintSeverity::kWarning)
+      sr.warnings.push_back(std::string("nlint[") + nlint_rule_name(d.rule) +
+                            "]: " + d.message);
+  if (!ctx_.nlint->ok()) {
+    // Structurally broken: fail typed (`spec`) without paying for the
+    // equivalence proof — its verdicts would only restate the breakage.
+    std::string failure = ctx_.nlint->first_error();
+    if (ctx_.nlint->errors > 1)
+      failure += " (+" + std::to_string(ctx_.nlint->errors - 1) + " more)";
+    throw Error(failure);
+  }
+  ctx_.equiv =
+      check_equivalence(netlist, opts_.check_opts, ctx_.guard.get());
+  sr.metric("gates_checked", ctx_.equiv->gates_checked);
+  sr.metric("gates_proven", ctx_.equiv->gates_proven);
+  sr.metric("reach_states", static_cast<double>(ctx_.equiv->reach_states));
+  sr.metric("reach_bdd_size",
+            static_cast<double>(ctx_.equiv->reach_bdd_size));
+  sr.metric("bdd_nodes", static_cast<double>(ctx_.equiv->bdd_nodes));
+  if (ctx_.equiv->reordered) {
+    sr.metric("reorder_size_before",
+              static_cast<double>(ctx_.equiv->reorder_size_before));
+    sr.metric("reorder_size_after",
+              static_cast<double>(ctx_.equiv->reorder_size_after));
+  }
+  if (!ctx_.equiv->ok) {
+    std::string failure = ctx_.equiv->first_failure();
+    if (ctx_.equiv->failures.size() > 1)
+      failure +=
+          " (+" + std::to_string(ctx_.equiv->failures.size() - 1) + " more)";
+    throw Error(failure);
+  }
 }
 
 void Flow::stage_verify(StageReport& sr) {

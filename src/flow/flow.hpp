@@ -4,7 +4,7 @@
 // The paper's flow is a fixed sequence of stages
 //
 //   load -> reachability -> properties -> csc -> synth -> decomp -> map
-//        -> verify -> emit
+//        -> check -> verify -> emit
 //
 // that used to be re-wired by hand at every call site (the CLI, each
 // example, the integration tests).  `Flow` runs that sequence off one
@@ -32,6 +32,11 @@
 //   decomp        non-SI tech_decomp2 area baseline of that netlist
 //   map           technology mapping onto the gate library (replaces the SG
 //                 and netlist with the decomposed versions)
+//   check         static netlist analysis (netlist/nlint.hpp) plus the BDD
+//                 equivalence proof of every gate against its excitation
+//                 function (netlist/equiv.hpp); off by default here, on by
+//                 default in serve/batch as the fast static reject before
+//                 the token-game verifier
 //   verify        gate-level speed-independence check of the final netlist
 //   emit          write .sg / Verilog / .eqn outputs
 //
@@ -53,6 +58,7 @@
 #include "core/csc.hpp"
 #include "core/mapper.hpp"
 #include "core/mc_cover.hpp"
+#include "netlist/equiv.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/si_verify.hpp"
 #include "netlist/tech_decomp.hpp"
@@ -72,14 +78,15 @@ enum class Stage : int {
   kSynth,
   kDecomp,
   kMap,
+  kCheck,
   kVerify,
   kEmit,
 };
-inline constexpr int kNumStages = 9;
+inline constexpr int kNumStages = 10;
 inline constexpr std::array<Stage, kNumStages> kAllStages = {
-    Stage::kLoad,   Stage::kReachability, Stage::kProperties,
-    Stage::kCsc,    Stage::kSynth,        Stage::kDecomp,
-    Stage::kMap,    Stage::kVerify,       Stage::kEmit,
+    Stage::kLoad,  Stage::kReachability, Stage::kProperties, Stage::kCsc,
+    Stage::kSynth, Stage::kDecomp,       Stage::kMap,        Stage::kCheck,
+    Stage::kVerify, Stage::kEmit,
 };
 
 const char* stage_name(Stage stage);
@@ -131,6 +138,13 @@ struct FlowOptions {
   /// typed `spec` failure_kind (the serve/batch fast reject path), lint
   /// warnings travel on the stage report.  Purely structural, O(net size).
   bool lint = false;
+  /// Run the `check` stage: netlist static analysis (nlint) followed by the
+  /// BDD equivalence proof of every gate against its excitation function.
+  /// Off by default here (a raw `Flow` stays as lean as before); the serve
+  /// and batch front-ends turn it on as their output-side gate.
+  bool check = false;
+  /// Options of the check stage (nlint limits, BDD variable reordering).
+  CheckOptions check_opts;
 
   // ---- resource governance -------------------------------------------
   /// Wall-clock deadline for the whole run; 0 = none.  Enforced
@@ -291,6 +305,11 @@ struct FlowContext {
   /// unconstrained one.
   std::optional<Netlist> netlist;
 
+  /// Check-stage artifacts: the structural diagnostics and (when nlint
+  /// passes) the per-gate equivalence verdicts.
+  std::optional<NlintReport> nlint;
+  std::optional<EquivReport> equiv;
+
   std::optional<SiVerifyResult> verify;
 
   /// Captured emit-stage outputs (FlowOptions::capture_emitted).
@@ -325,6 +344,7 @@ class Flow {
   void stage_synth(StageReport& sr);
   void stage_decomp(StageReport& sr);
   void stage_map(StageReport& sr);
+  void stage_check(StageReport& sr);
   void stage_verify(StageReport& sr);
   void stage_emit(StageReport& sr);
 

@@ -54,6 +54,9 @@ class Netlist {
 
   void add_impl(SignalImpl impl) { impls_.push_back(std::move(impl)); }
   const std::vector<SignalImpl>& impls() const { return impls_; }
+  /// Mutable access — the mutation harness of netlist/equiv.hpp corrupts
+  /// implementations in place to exercise the checker.
+  std::vector<SignalImpl>& impls() { return impls_; }
   const SignalImpl* impl_of(int signal) const;
 
   /// Number of C elements (non-combinational signals).

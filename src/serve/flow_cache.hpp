@@ -72,6 +72,10 @@ class FlowCache {
   /// to >= 1.
   explicit FlowCache(std::size_t byte_budget, int shards = 16);
 
+  /// Resident entries hold raw slab blocks; ~SlabPool only frees its
+  /// freelist, so they must be released before the shards go away.
+  ~FlowCache() { clear(); }
+
   /// Copy the payload for `key` into `*out` and mark the entry
   /// most-recently-used.  False (and a miss count) when absent.
   bool lookup(const CacheKey& key, std::string* out);

@@ -105,6 +105,12 @@ void apply_options(const Json& o, FlowOptions* flow) {
       flow->symbolic_check = want_bool(v, "symbolic_check");
     } else if (key == "lint") {
       flow->lint = want_bool(v, "lint");
+    } else if (key == "check") {
+      flow->check = want_bool(v, "check");
+    } else if (key == "check_reorder") {
+      flow->check_opts.reorder = want_bool(v, "check_reorder");
+    } else if (key == "max_gc_fanin") {
+      flow->check_opts.nlint.max_gc_fanin = want_int(v, "max_gc_fanin", 0);
     } else if (key == "stop_after") {
       flow->stop_after = want_stage(v, "stop_after");
     } else if (key == "skip") {

@@ -21,11 +21,13 @@
 //
 // Option overrides: minimize_passes, synth_threads, csc_top_k,
 // csc_max_insertions, max_literals, map_prune, map_threads, stop_after,
-// skip (array of stage names), symbolic_check, lint, max_states,
-// work_budget, on_budget ("fail"|"degrade").  `lint` (default from the
-// base options; `sitm serve` turns it on) is the fast reject path: a spec
-// with lint errors fails typed (`spec`) at the reachability gate, before
-// any state graph is built.
+// skip (array of stage names), symbolic_check, lint, check, check_reorder,
+// max_gc_fanin, max_states, work_budget, on_budget ("fail"|"degrade").
+// `lint` (default from the base options; `sitm serve` turns it on) is the
+// fast reject path: a spec with lint errors fails typed (`spec`) at the
+// reachability gate, before any state graph is built.  `check` (also on by
+// default under `sitm serve`) is the output-side counterpart: netlist
+// static analysis plus the BDD equivalence proof after the map stage.
 //
 // Responses:
 //   {"id":"r1","status":"ok","cached":false,"key":"<hex>:<hex>",

@@ -12,6 +12,16 @@
 //               [--json report.json]        staged flow: CSC-resolve + map
 //   sitm verify <file> [--threads N] [--json report.json]
 //                                          synthesize + gate-level SI check
+//   sitm check  <file> [--json report.json] [--check-reorder] [--max-fanin N]
+//               [--mutate KIND[:N]]        netlist static analysis (nlint) +
+//                                          BDD equivalence proof of every
+//                                          gate against its excitation
+//                                          function; --mutate corrupts the
+//                                          synthesized netlist first
+//                                          (flip-literal|drop-cube|
+//                                          swap-set-reset) and exits 0 when
+//                                          the checker rejects the mutant
+//                                          with a counterexample
 //   sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]
 //               [--map-threads N] [--map-prune] [--csc-top-k N]
 //               [--stop-after STAGE] [--skip STAGE] [--json report.json]
@@ -77,6 +87,9 @@ int usage() {
       "              [--deadline-ms N] [--max-states N] [--work-budget N]\n"
       "              [--on-budget fail|degrade]\n"
       "  sitm verify <file> [--threads N] [--json out.json]\n"
+      "  sitm check  <file> [--json out.json] [--check-reorder] "
+      "[--max-fanin N]\n"
+      "              [--mutate flip-literal|drop-cube|swap-set-reset[:N]]\n"
       "  sitm batch  <dir|suite> [-i N] [--threads N] [--synth-threads N]\n"
       "              [--map-threads N] [--map-prune] [--csc-top-k N] "
       "[--stop-after STAGE]\n"
@@ -86,8 +99,8 @@ int usage() {
       "  sitm serve  --pipe | --socket PATH [--threads N] [--cache-mb N]\n"
       "              [--deadline-ms N] [-i N] [--synth-threads N]\n"
       "              [--map-threads N] [--map-prune] [--csc-top-k N]\n"
-      "stages: load reachability properties csc synth decomp map verify "
-      "emit\n");
+      "stages: load reachability properties csc synth decomp map check "
+      "verify emit\n");
   return 2;
 }
 
@@ -216,6 +229,19 @@ struct FlowArgs {
       flow.lint = true;
     } else if (arg == "--no-lint") {
       flow.lint = false;
+    } else if (arg == "--check") {
+      // Netlist static analysis + BDD equivalence proof after the map
+      // stage.  Default on for batch and serve, opt-in for map/verify.
+      flow.check = true;
+    } else if (arg == "--no-check") {
+      flow.check = false;
+    } else if (arg == "--check-reorder") {
+      // Sift the BDD variable order before the per-gate proofs.
+      flow.check_opts.reorder = true;
+    } else if (arg == "--max-fanin") {
+      // nlint's gC fanin warning threshold (0 disables the rule).
+      if (!parse_int_arg(next(), 0, &flow.check_opts.nlint.max_gc_fanin))
+        return false;
     } else if (arg == "--json") {
       const char* v = next();
       if (!v) return false;
@@ -394,10 +420,136 @@ int cmd_lint(int argc, char** argv) {
   return report.ok() ? 0 : 1;
 }
 
+/// Pretty counterexample line for a failed gate verdict.
+void print_verdicts(const EquivReport& equiv, const StateGraph& sg) {
+  for (const GateVerdict& f : equiv.failures) {
+    std::printf("  %s/%s: %s\n", f.name.c_str(), f.network.c_str(),
+                f.why.c_str());
+    if (f.counterexample_state != kNoState)
+      std::printf("    counterexample: state %d, code %s\n",
+                  f.counterexample_state,
+                  sg.code_string(f.counterexample_state).c_str());
+  }
+}
+
+/// `sitm check --mutate KIND[:N]`: synthesize, corrupt the netlist, and
+/// demonstrate that the checker rejects the mutant.  Exit 0 = rejected
+/// (self-test passed), 1 = mutant survived, 2 = could not set up.
+int cmd_check_mutate(const std::string& path, const std::string& mutate_spec,
+                     FlowArgs args) {
+  std::string kind_name = mutate_spec;
+  int which = 0;
+  if (const auto colon = mutate_spec.find(':'); colon != std::string::npos) {
+    kind_name = mutate_spec.substr(0, colon);
+    if (!parse_int_arg(mutate_spec.c_str() + colon + 1, 0, &which))
+      return usage();
+  }
+  NetlistMutation kind;
+  if (!parse_netlist_mutation(kind_name, &kind)) {
+    std::fprintf(stderr,
+                 "--mutate wants flip-literal|drop-cube|swap-set-reset, "
+                 "got %s\n",
+                 kind_name.c_str());
+    return usage();
+  }
+
+  args.flow.check = false;  // the un-mutated flow must not reject itself
+  args.flow.stop_after = Stage::kMap;
+  Flow flow(args.flow);
+  const FlowReport report = flow.run_file(path);
+  if (!report.ok || !flow.context().netlist) {
+    std::fprintf(stderr, "%s: cannot synthesize a netlist to mutate: %s\n",
+                 report.name.c_str(), report.failure.c_str());
+    return 2;
+  }
+  Netlist mutant = *flow.context().netlist;
+  if (!mutate_netlist(mutant, kind, which)) {
+    std::fprintf(stderr, "%s: no %s site #%d in this netlist\n",
+                 report.name.c_str(), netlist_mutation_name(kind), which);
+    return 2;
+  }
+
+  // Unlike the flow's check stage (which fast-rejects on nlint errors),
+  // the self-test runs *both* layers so the equivalence counterexample is
+  // always demonstrated, even for mutants nlint would already catch.
+  const NlintReport nlint =
+      nlint_netlist(mutant, nullptr, args.flow.check_opts.nlint);
+  if (!nlint.ok()) std::printf("%s\n", nlint.first_error().c_str());
+  const EquivReport equiv = check_equivalence(mutant, args.flow.check_opts);
+  print_verdicts(equiv, mutant.sg());
+  const bool rejected = !nlint.ok() || !equiv.ok;
+  std::printf("%s: %s mutant #%d %s\n", report.name.c_str(),
+              netlist_mutation_name(kind), which,
+              rejected ? "rejected" : "NOT rejected");
+  if (!args.json_path.empty()) {
+    Json j = Json::object();
+    j.set("name", report.name);
+    j.set("mutation", netlist_mutation_name(kind));
+    j.set("site", which);
+    j.set("rejected", rejected);
+    j.set("nlint", nlint.to_json());
+    j.set("equiv", equiv.to_json());
+    write_json_file(args.json_path, j);
+  }
+  return rejected ? 0 : 1;
+}
+
+int cmd_check(int argc, char** argv) {
+  std::string path, mutate_spec;
+  FlowArgs args;
+  args.flow.check = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mutate") {
+      if (i + 1 >= argc) return usage();
+      mutate_spec = argv[++i];
+    } else if (!args.consume(argc, argv, i, &path)) {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+  if (!args.synth_threads_set) args.flow.mc.threads = args.batch_threads;
+  if (!mutate_spec.empty())
+    return cmd_check_mutate(path, mutate_spec, std::move(args));
+
+  if (!args.flow.stop_after) args.flow.stop_after = Stage::kCheck;
+  Flow flow(args.flow);
+  const FlowReport report = flow.run_file(path);
+  print_report(report);
+  const FlowContext& ctx = flow.context();
+  if (ctx.nlint)
+    for (const auto& d : ctx.nlint->diagnostics)
+      if (d.severity == NlintSeverity::kError)
+        std::printf("  nlint[%s] %s: %s\n", nlint_rule_name(d.rule),
+                    d.subject.c_str(), d.message.c_str());
+  if (ctx.equiv && ctx.sg) print_verdicts(*ctx.equiv, *ctx.sg);
+  if (report.ok && ctx.equiv)
+    std::printf("%s: %d/%d gates proven equivalent (%zu reachable codes, "
+                "reach BDD %zu nodes)\n",
+                report.name.c_str(), ctx.equiv->gates_proven,
+                ctx.equiv->gates_checked, ctx.equiv->reach_states,
+                ctx.equiv->reach_bdd_size);
+  if (!args.json_path.empty()) {
+    Json j = Json::object();
+    j.set("name", report.name);
+    j.set("report", report.to_json());
+    if (ctx.nlint) j.set("nlint", ctx.nlint->to_json());
+    if (ctx.equiv) j.set("equiv", ctx.equiv->to_json());
+    write_json_file(args.json_path, j);
+  }
+  if (!report.ok) {
+    std::fprintf(stderr, "%s: %s failed: %s\n", report.name.c_str(),
+                 stage_name(*report.failed_stage), report.failure.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_batch(int argc, char** argv) {
   std::string target;
   FlowArgs args;
-  args.flow.lint = true;  // the corpus gate; --no-lint opts out
+  args.flow.lint = true;   // the corpus gate; --no-lint opts out
+  args.flow.check = true;  // output-side gate; --no-check opts out
   for (int i = 2; i < argc; ++i)
     if (!args.consume(argc, argv, i, &target)) return usage();
   if (target.empty()) return usage();
@@ -436,7 +588,8 @@ int cmd_batch(int argc, char** argv) {
 
 int cmd_serve(int argc, char** argv) {
   FlowArgs args;
-  args.flow.lint = true;  // fast reject path; requests can override
+  args.flow.lint = true;   // fast reject path; requests can override
+  args.flow.check = true;  // output-side gate; requests can override
   bool pipe = false;
   std::string socket_path;
   std::uint64_t cache_mb = 256;
@@ -506,6 +659,7 @@ int main(int argc, char** argv) {
     if (cmd == "lint") return cmd_lint(argc, argv);
     if (cmd == "map") return cmd_map(argc, argv);
     if (cmd == "verify") return cmd_verify(argc, argv);
+    if (cmd == "check") return cmd_check(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "bench") return cmd_bench(argv[2]);
     if (cmd == "serve") return cmd_serve(argc, argv);

@@ -113,6 +113,41 @@ TEST_F(FaultTest, EveryStageFailureIsTypedAndStopsTheFlow) {
   }
 }
 
+TEST_F(FaultTest, CheckStageFaultIsTypedWhenEnabled) {
+  // The check stage is opt-in, so its stage-entry site gets its own matrix
+  // entry with a check-enabled flow (the shared loop above runs defaults).
+  const StageFault matrix[] = {
+      {"flow.check", Stage::kCheck, fault::Action::kError, FailureKind::kSpec},
+      {"flow.check", Stage::kCheck, fault::Action::kCancel,
+       FailureKind::kCancelled},
+      {"check.gate", Stage::kCheck, fault::Action::kBudget,
+       FailureKind::kBudget},
+  };
+  for (const auto& f : matrix) {
+    fault::clear();
+    fault::arm(f.site, f.action);
+    FlowOptions opts;
+    opts.check = true;
+    Flow flow(opts);
+    const FlowReport report = flow.run_string(kCscConflictSpec);
+    ASSERT_FALSE(report.ok) << f.site;
+    EXPECT_EQ(report.failed_stage, f.stage) << f.site;
+    EXPECT_EQ(report.failure_kind, f.kind) << f.site;
+    EXPECT_FALSE(report.stage(Stage::kVerify).ran) << f.site;
+  }
+}
+
+TEST_F(FaultTest, ArmedCheckFaultIsInertWhenStageDisabled) {
+  // A disabled check stage is skipped *before* its fault site: arming
+  // flow.check must not trip a run that never asked for the stage.
+  fault::arm("flow.check", fault::Action::kError);
+  Flow flow;  // check off by default
+  const FlowReport report = flow.run_string(kCscConflictSpec);
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_TRUE(report.stage(Stage::kCheck).skipped);
+  EXPECT_FALSE(fault::fired("flow.check"));
+}
+
 TEST_F(FaultTest, HotLoopSitesAreInstrumented) {
   // A budget fault at each governed hot-loop site must surface as a typed
   // failure of the owning stage, proving the loop actually polls.

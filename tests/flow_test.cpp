@@ -59,6 +59,7 @@ TEST(Flow, FullSequenceThroughCscAndMap) {
   FlowOptions opts;
   opts.mapper.library.max_literals = 2;
   opts.capture_emitted = true;
+  opts.check = true;  // opt-in stage; on here so the full sequence runs
   Flow flow(opts);
   const FlowReport report = flow.run_string(kCscConflictSpec);
   ASSERT_TRUE(report.ok) << report.failure;

@@ -194,6 +194,13 @@ TEST(OptionsFingerprint, OutputAffectingFieldsChangeTheKey) {
           "mapper.prune_pre_checks");
   differs([](FlowOptions& o) { o.symbolic_check = true; }, "symbolic_check");
   differs([](FlowOptions& o) { o.lint = true; }, "lint");
+  differs([](FlowOptions& o) { o.check = true; }, "check");
+  differs([](FlowOptions& o) { o.check_opts.nlint.max_gc_fanin = 4; },
+          "check_opts.nlint.max_gc_fanin");
+  differs([](FlowOptions& o) { o.check_opts.reorder = true; },
+          "check_opts.reorder");
+  differs([](FlowOptions& o) { o.check_opts.reorder_rounds = 5; },
+          "check_opts.reorder_rounds");
   differs([](FlowOptions& o) { o.verify_max_states = 123; },
           "verify_max_states");
   differs([](FlowOptions& o) { o.max_states = 77; }, "max_states");
